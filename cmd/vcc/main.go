@@ -1,0 +1,106 @@
+// vcc is the virtine C compiler driver — the analogue of the paper's
+// clang wrapper (§5.3). It compiles a C-subset source file, reports every
+// virtine-annotated function, and can run one directly under an embedded
+// Wasp, or dump its generated assembly.
+//
+// Usage:
+//
+//	vcc prog.c                         # list virtines and image sizes
+//	vcc -run fib -args 20 prog.c       # compile and invoke fib(20)
+//	vcc -S -fn fib prog.c              # dump generated assembly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/vcc"
+)
+
+func main() {
+	run := flag.String("run", "", "virtine function to invoke")
+	args := flag.String("args", "", "comma-separated integer arguments")
+	dumpAsm := flag.Bool("S", false, "dump generated assembly")
+	fn := flag.String("fn", "", "function for -S (defaults to the only virtine)")
+	snapshot := flag.Bool("snapshot", true, "use Wasp snapshotting")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vcc [flags] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := vcc.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if len(prog.Virtines) == 0 {
+		fatal(fmt.Errorf("no virtine-annotated functions in %s", flag.Arg(0)))
+	}
+
+	if *dumpAsm {
+		name := *fn
+		if name == "" {
+			for n := range prog.Virtines {
+				name = n
+				break
+			}
+		}
+		v, ok := prog.Virtines[name]
+		if !ok {
+			fatal(fmt.Errorf("no virtine %q", name))
+		}
+		fmt.Print(v.Asm)
+		return
+	}
+
+	if *run == "" {
+		for name, v := range prog.Virtines {
+			fmt.Printf("virtine %-20s image %6d bytes  policy %s\n",
+				name, len(v.Image.Code), v.Policy)
+		}
+		return
+	}
+
+	client := core.NewClient()
+	fns, err := client.CompileC(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	f, ok := fns[*run]
+	if !ok {
+		fatal(fmt.Errorf("no virtine %q", *run))
+	}
+	f.Snapshot = *snapshot
+	var callArgs []int64
+	if *args != "" {
+		for _, a := range strings.Split(*args, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(a), 0, 64)
+			if err != nil {
+				fatal(err)
+			}
+			callArgs = append(callArgs, v)
+		}
+	}
+	clk := cycles.NewClock()
+	ret, res, err := f.CallOn(clk, callArgs...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s(%s) = %d\n", *run, *args, ret)
+	fmt.Printf("  %d cycles (%.2f us), %d guest entries, %d hypercall exits, snapshot=%v\n",
+		res.Cycles, cycles.Micros(res.Cycles), res.Entries, res.IOExits, res.SnapshotUsed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcc:", err)
+	os.Exit(1)
+}

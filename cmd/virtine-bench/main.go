@@ -1,0 +1,66 @@
+// virtine-bench regenerates every table and figure in the paper's
+// evaluation from the systems in this repository. It is the analogue of
+// the artifact's `make artifacts.tar`.
+//
+// Usage:
+//
+//	virtine-bench                 # run everything, aligned-text output
+//	virtine-bench -exp fig11      # one experiment
+//	virtine-bench -trials 1000    # trial count (paper default: 1000)
+//	virtine-bench -csv            # CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (fig2, tab1, fig3, fig4, fig8, tab2, fig11, fig12, fig13, fig14, fig15, sec6.4); empty = all")
+	trials := flag.Int("trials", 200, "trials per measurement (clamped per experiment)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Paper)
+		}
+		fmt.Printf("%-8s %s\n", "sec6.4", "§6.4: openssl speed aes-128-cbc, native vs virtine")
+		return
+	}
+
+	run := func(id string, r bench.Runner) {
+		t, err := r(*trials)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "virtine-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+
+	if *exp != "" {
+		if *exp == "sec6.4" {
+			run(*exp, bench.Fig64Speed)
+			return
+		}
+		r, ok := bench.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "virtine-bench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		run(*exp, r)
+		return
+	}
+	for _, e := range bench.Registry {
+		run(e.ID, e.Run)
+	}
+	run("sec6.4", bench.Fig64Speed)
+}

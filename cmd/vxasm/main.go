@@ -1,0 +1,51 @@
+// vxasm assembles VX assembly into a flat virtine image (the NASM of
+// this toolchain) and can disassemble the result for inspection.
+//
+// Usage:
+//
+//	vxasm boot.s               # assemble, print image summary
+//	vxasm -o image.bin boot.s  # write the flat binary
+//	vxasm -d boot.s            # disassemble (start-mode section)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func main() {
+	out := flag.String("o", "", "write flat binary to file")
+	disasm := flag.Bool("d", false, "disassemble after assembling")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vxasm [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d bytes, origin %#x, entry %#x, start mode %s, %d labels\n",
+		flag.Arg(0), len(p.Code), p.Origin, p.Entry, p.StartMode, len(p.Labels))
+	if *disasm {
+		fmt.Print(isa.Disassemble(p.Code, p.Origin, p.StartMode))
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, p.Code, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vxasm:", err)
+	os.Exit(1)
+}

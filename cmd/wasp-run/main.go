@@ -1,0 +1,91 @@
+// wasp-run executes a VX assembly program as a virtine under an embedded
+// Wasp hypervisor — the "smoketest" entry point of the artifact. It
+// assembles the source, runs it under a selectable hypercall policy, and
+// reports the guest's output and the run's cost breakdown.
+//
+// Usage:
+//
+//	wasp-run prog.s                     # deny-all policy
+//	wasp-run -policy allow prog.s       # permissive
+//	wasp-run -policy 0xFC prog.s        # bit-mask
+//	wasp-run -data "payload" prog.s     # preload the get_data channel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/cycles"
+	"repro/internal/guest"
+	"repro/internal/hypercall"
+	"repro/internal/wasp"
+)
+
+func main() {
+	policy := flag.String("policy", "deny", `hypercall policy: "deny", "allow", or a hex bit mask`)
+	data := flag.String("data", "", "payload for the get_data hypercall")
+	netIn := flag.String("net", "", "bytes queued on the virtual socket")
+	snapshot := flag.Bool("snapshot", false, "enable snapshotting")
+	trials := flag.Int("n", 1, "number of invocations")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wasp-run [flags] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := guest.FromAsm(flag.Arg(0), string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	var pol hypercall.Policy
+	switch *policy {
+	case "deny":
+		pol = hypercall.DenyAll{}
+	case "allow":
+		pol = hypercall.AllowAll{}
+	default:
+		mask, err := strconv.ParseUint(*policy, 0, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad policy %q", *policy))
+		}
+		pol = hypercall.Mask(mask)
+	}
+
+	w := wasp.New()
+	for i := 0; i < *trials; i++ {
+		env := hypercall.NewEnv()
+		env.DataIn = []byte(*data)
+		env.NetIn = []byte(*netIn)
+		clk := cycles.NewClock()
+		res, err := w.Run(img, wasp.RunConfig{
+			Policy:   pol,
+			Env:      env,
+			Snapshot: *snapshot,
+		}, clk)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run %d: exit=%d cycles=%d (%.2f us) entries=%d io-exits=%d snapshot=%v\n",
+			i, res.ExitCode, res.Cycles, cycles.Micros(res.Cycles), res.Entries, res.IOExits, res.SnapshotUsed)
+		if len(res.Stdout) > 0 {
+			fmt.Printf("  stdout: %q\n", res.Stdout)
+		}
+		if len(res.NetOut) > 0 {
+			fmt.Printf("  socket: %q\n", res.NetOut)
+		}
+		if len(res.DataOut) > 0 {
+			fmt.Printf("  data:   %q\n", res.DataOut)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wasp-run:", err)
+	os.Exit(1)
+}

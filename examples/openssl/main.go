@@ -1,0 +1,60 @@
+// openssl: the §6.4 scenario — an off-the-shelf library's deeply buried,
+// heavily optimized function (AES-128-CBC block encryption) moved into
+// virtine context by swapping the compiler. The virtine version is
+// bit-identical to native; the cost is the per-invocation snapshot copy
+// of the ~21 KB image, which `openssl speed` makes visible.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/aes"
+	"repro/internal/cycles"
+	"repro/internal/wasp"
+)
+
+func main() {
+	key := []byte("0123456789abcdef")
+	iv := []byte("fedcba9876543210")
+
+	w := wasp.New()
+	vc, err := aes.NewVirtineCipher(w, key, iv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := aes.New(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Correctness: virtine ciphertext must equal native.
+	msg := bytes.Repeat([]byte("virtines at the hardware limit! "), 4)
+	want := make([]byte, len(msg))
+	if err := c.EncryptCBC(want, msg, iv); err != nil {
+		log.Fatal(err)
+	}
+	got, err := vc.Encrypt(msg, cycles.NewClock())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		log.Fatal("virtine ciphertext mismatch")
+	}
+	fmt.Printf("encrypted %d bytes in a virtine; ciphertext matches native AES-128-CBC\n\n", len(msg))
+
+	// openssl speed -evp aes-128-cbc, native vs virtine.
+	fmt.Println("openssl speed aes-128-cbc (virtual time):")
+	pts, err := aes.Speed(w, []int{16, 256, 1024, 4096, 16384}, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  block   native MB/s   virtine MB/s   slowdown")
+	for _, p := range pts {
+		fmt.Printf("  %5d   %11.1f   %12.1f   %7.1fx\n",
+			p.BlockBytes, p.NativeBps/1e6, p.VirtineBps/1e6, p.Slowdown)
+	}
+	fmt.Println("\npaper §6.4: ≈17x at 16KB blocks — virtine creation is memory-bound,")
+	fmt.Println("since copying the snapshot comprises the dominant cost.")
+}

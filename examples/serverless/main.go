@@ -1,0 +1,39 @@
+// serverless: the §7.1 scenario — Vespid, a prototype serverless platform
+// that runs each function invocation in a distinct virtine instead of a
+// container, compared against an OpenWhisk-model baseline under the
+// Locust-style ramp-burst-ramp load pattern of Fig 15.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/serverless"
+	"repro/internal/wasp"
+)
+
+func main() {
+	w := wasp.New()
+	pattern := serverless.DefaultPattern(20)
+	trace, err := serverless.RunFig15(w, pattern, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("sec users | vespid p50/p99 (ms) | openwhisk p50/p99 (ms) | load")
+	for _, tp := range trace {
+		bar := strings.Repeat("#", tp.Users/2)
+		fmt.Printf("%3d  %4d | %8.2f / %8.2f | %9.2f / %9.2f | %s\n",
+			tp.Sec, tp.Users, tp.VespidP50, tp.VespidP99, tp.WhiskP50, tp.WhiskP99, bar)
+	}
+
+	s := serverless.Summarize(trace)
+	fmt.Printf("\nsummary:\n")
+	fmt.Printf("  vespid:    mean p50 %6.2f ms, worst p99 %8.1f ms, %4.0f requests\n",
+		s.VespidMeanP50, s.VespidWorstP99, s.VespidTotal)
+	fmt.Printf("  openwhisk: mean p50 %6.2f ms, worst p99 %8.1f ms, %4.0f requests\n",
+		s.WhiskMeanP50, s.WhiskWorstP99, s.WhiskTotal)
+	fmt.Println("\nthe container platform pays cold starts at each burst onset;")
+	fmt.Println("the virtine platform restores a snapshot per invocation instead.")
+}

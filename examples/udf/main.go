@@ -1,0 +1,87 @@
+// udf: the §7.1 database scenario — user-defined functions isolated at
+// function granularity. Postgres runs V8-isolated UDFs in one address
+// space; "because virtine address spaces are disjoint, they could help
+// with this limitation. Furthermore, virtines would allow functions in
+// unsafe languages (e.g., C, C++) to be safely used for UDFs."
+//
+// Here a tiny in-memory table applies a C UDF to every row. The UDF is
+// deliberately written in an unsafe style (pointer arithmetic, a buffer
+// it could overrun); any damage it does is confined to its own VM, and a
+// hostile variant that tries to reach the host is killed by policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+)
+
+const udfSrc = `
+/* UDF: risk_score(balance, overdrafts) — plain unsafe C. */
+int weights[4];
+
+virtine int risk_score(int balance, int overdrafts) {
+	weights[0] = 2;
+	weights[1] = 7;
+	char scratch[16];
+	int i = 0;
+	/* pointer arithmetic all over, as C UDFs do */
+	char *p = scratch;
+	for (i = 0; i < 16; i++) { *(p + i) = i; }
+	int score = overdrafts * weights[1] - balance / 100 * weights[0];
+	if (score < 0) score = 0;
+	return score;
+}
+
+/* A hostile UDF: tries to exfiltrate via a host write. */
+virtine int evil_udf(int x) {
+	write(1, "stolen row!", 11);
+	return x;
+}
+`
+
+type row struct {
+	name       string
+	balance    int64
+	overdrafts int64
+}
+
+func main() {
+	table := []row{
+		{"alice", 12000, 0},
+		{"bob", 300, 4},
+		{"carol", 5400, 1},
+		{"dave", 90, 9},
+	}
+
+	client := core.NewClient()
+	fns, err := client.CompileC(udfSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	udf := fns["risk_score"]
+
+	fmt.Println("SELECT name, risk_score(balance, overdrafts) FROM accounts;")
+	clk := cycles.NewClock()
+	for _, r := range table {
+		score, _, err := udf.CallOn(clk, r.balance, r.overdrafts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s  %4d\n", r.name, score)
+	}
+	fmt.Printf("4 rows, %.1f us total (one micro-VM per row, snapshot-restored)\n\n",
+		cycles.Micros(clk.Now()))
+
+	// The hostile UDF is compiled with the same default-deny policy the
+	// `virtine` keyword grants; its host write is refused and the
+	// virtine is destroyed.
+	evil := fns["evil_udf"]
+	if _, _, err := evil.CallOn(cycles.NewClock(), 1); err != nil {
+		fmt.Printf("evil_udf killed by policy: %v\n", err)
+	} else {
+		log.Fatal("evil UDF escaped!")
+	}
+}

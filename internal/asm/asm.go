@@ -1,0 +1,797 @@
+// Package asm implements a two-pass assembler for the VX instruction set.
+//
+// The virtine toolchain uses it the way the paper uses NASM: hand-written
+// boot stubs and microbenchmark kernels ("roughly 160 lines of assembly",
+// §4.2) are assembled into flat binary images loaded at guest address
+// 0x8000. Source may mix operating widths with the .bits directive, just
+// as x86 boot code does: the encoder emits immediates at the width in
+// force, and the CPU decodes at whatever mode it is in when it reaches
+// that code.
+//
+// Syntax summary:
+//
+//	; comment
+//	.bits 16|32|64       set operating width
+//	.org  ADDR           set load/origin address (default 0x8000)
+//	.equ  NAME, EXPR     define a constant
+//	.db B, B, ...        emit bytes       .dd V  emit 4 bytes
+//	.dw V                emit 2 bytes     .dq V  emit 8 bytes
+//	.word V              emit at current width
+//	.zero N              emit N zero bytes
+//	.align N             pad to N-byte alignment
+//	label:               define a label
+//	mov rax, rbx         register-register
+//	mov rax, 42          register-immediate (also labels / .equ names)
+//	load rax, [rbp-8]    memory load; loadb/storeb for bytes
+//	store [rbp+16], rax
+//	out 0x01, rdi        hypercall trap
+//	ljmp32 LABEL         far jump completing a mode switch (16/32/64)
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Program is the result of assembling one source file.
+type Program struct {
+	Code      []byte
+	Origin    uint64 // load address of Code[0]
+	Entry     uint64 // address of the `_start` label, or Origin
+	StartMode isa.Mode
+	Labels    map[string]uint64
+}
+
+// Error is an assembler diagnostic carrying a line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type stmt struct {
+	line  int
+	label string // label defined on this line, if any
+	mnem  string
+	args  []string
+	mode  isa.Mode // mode in force for this statement
+	addr  uint64   // filled in pass 1
+	size  int
+}
+
+type assembler struct {
+	stmts  []stmt
+	labels map[string]uint64
+	equs   map[string]uint64
+	origin uint64
+	start  isa.Mode
+}
+
+// Assemble assembles src into a Program.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		labels: make(map[string]uint64),
+		equs:   make(map[string]uint64),
+		origin: 0x8000,
+		start:  isa.Mode16,
+	}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	if err := a.layout(); err != nil {
+		return nil, err
+	}
+	code, err := a.emit()
+	if err != nil {
+		return nil, err
+	}
+	entry := a.origin
+	if e, ok := a.labels["_start"]; ok {
+		entry = e
+	}
+	return &Program{
+		Code:      code,
+		Origin:    a.origin,
+		Entry:     entry,
+		StartMode: a.start,
+		Labels:    a.labels,
+	}, nil
+}
+
+// MustAssemble is Assemble for static program text; it panics on error and
+// exists for package-level program constants in the guest runtime.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) parse(src string) error {
+	mode := isa.Mode16
+	first := true
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := raw
+		if j := strings.IndexByte(text, ';'); j >= 0 {
+			text = text[:j]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		var label string
+		if j := strings.IndexByte(text, ':'); j >= 0 && isIdent(text[:j]) {
+			label = text[:j]
+			text = strings.TrimSpace(text[j+1:])
+		}
+		if text == "" {
+			a.stmts = append(a.stmts, stmt{line: line, label: label, mode: mode})
+			continue
+		}
+		fields := strings.SplitN(text, " ", 2)
+		mnem := strings.ToLower(fields[0])
+		var args []string
+		if len(fields) == 2 {
+			for _, arg := range splitArgs(fields[1]) {
+				args = append(args, strings.TrimSpace(arg))
+			}
+		}
+		switch mnem {
+		case ".bits":
+			if len(args) != 1 {
+				return &Error{line, ".bits wants one operand"}
+			}
+			switch args[0] {
+			case "16":
+				mode = isa.Mode16
+			case "32":
+				mode = isa.Mode32
+			case "64":
+				mode = isa.Mode64
+			default:
+				return &Error{line, ".bits wants 16, 32, or 64"}
+			}
+			if first {
+				a.start = mode
+			}
+			if label != "" {
+				a.stmts = append(a.stmts, stmt{line: line, label: label, mode: mode})
+			}
+			continue
+		case ".org":
+			if len(args) != 1 {
+				return &Error{line, ".org wants one operand"}
+			}
+			v, err := parseInt(args[0])
+			if err != nil {
+				return &Error{line, err.Error()}
+			}
+			a.origin = v
+			continue
+		case ".equ":
+			if len(args) != 2 {
+				return &Error{line, ".equ wants NAME, VALUE"}
+			}
+			v, err := parseInt(args[1])
+			if err != nil {
+				return &Error{line, err.Error()}
+			}
+			a.equs[args[0]] = v
+			continue
+		}
+		first = false
+		a.stmts = append(a.stmts, stmt{line: line, label: label, mnem: mnem, args: args, mode: mode})
+	}
+	return nil
+}
+
+// splitArgs splits on commas that are not inside brackets.
+func splitArgs(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.', c == '$':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseInt(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	if neg {
+		return uint64(-int64(v)), nil
+	}
+	return v, nil
+}
+
+// layout is pass 1: compute sizes and addresses, define labels.
+func (a *assembler) layout() error {
+	pc := a.origin
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		s.addr = pc
+		if s.label != "" {
+			if _, dup := a.labels[s.label]; dup {
+				return &Error{s.line, "duplicate label " + s.label}
+			}
+			a.labels[s.label] = pc
+		}
+		if s.mnem == "" {
+			continue
+		}
+		n, err := a.sizeOf(s)
+		if err != nil {
+			return err
+		}
+		if s.mnem == ".align" {
+			al, _ := parseInt(s.args[0])
+			if al > 0 && pc%al != 0 {
+				n = int(al - pc%al)
+			} else {
+				n = 0
+			}
+		}
+		s.size = n
+		pc += uint64(n)
+	}
+	return nil
+}
+
+func (a *assembler) sizeOf(s *stmt) (int, error) {
+	switch s.mnem {
+	case ".db":
+		n := 0
+		for _, arg := range s.args {
+			if strings.HasPrefix(arg, `"`) {
+				str, err := strconv.Unquote(arg)
+				if err != nil {
+					return 0, &Error{s.line, "bad string literal"}
+				}
+				n += len(str)
+			} else {
+				n++
+			}
+		}
+		return n, nil
+	case ".dw":
+		return 2 * len(s.args), nil
+	case ".dd":
+		return 4 * len(s.args), nil
+	case ".dq":
+		return 8 * len(s.args), nil
+	case ".word":
+		return s.mode.Width() * len(s.args), nil
+	case ".zero":
+		v, err := parseInt(s.args[0])
+		if err != nil {
+			return 0, &Error{s.line, err.Error()}
+		}
+		return int(v), nil
+	case ".align":
+		return 0, nil // patched in layout
+	}
+	op, _, err := a.selectOp(s)
+	if err != nil {
+		return 0, err
+	}
+	return op.EncodedLen(s.mode), nil
+}
+
+// selectOp resolves a mnemonic+args to an opcode, choosing between
+// register and immediate forms.
+func (a *assembler) selectOp(s *stmt) (isa.Op, bool, error) {
+	imm := func(i int) bool {
+		if i >= len(s.args) {
+			return false
+		}
+		_, isReg := isa.RegByName(s.args[i])
+		return !isReg
+	}
+	switch s.mnem {
+	case "nop":
+		return isa.NOP, false, nil
+	case "hlt":
+		return isa.HLT, false, nil
+	case "ret":
+		return isa.RET, false, nil
+	case "cli":
+		return isa.CLI, false, nil
+	case "sti":
+		return isa.STI, false, nil
+	case "mov":
+		if imm(1) {
+			return isa.MOVI, true, nil
+		}
+		return isa.MOV, false, nil
+	case "movi":
+		return isa.MOVI, true, nil
+	case "addi":
+		return isa.ADDI, true, nil
+	case "subi":
+		return isa.SUBI, true, nil
+	case "andi":
+		return isa.ANDI, true, nil
+	case "ori":
+		return isa.ORI, true, nil
+	case "cmpi":
+		return isa.CMPI, true, nil
+	case "load":
+		return isa.LOAD, false, nil
+	case "store":
+		return isa.STORE, false, nil
+	case "loadb":
+		return isa.LOADB, false, nil
+	case "storeb":
+		return isa.STOREB, false, nil
+	case "add":
+		if imm(1) {
+			return isa.ADDI, true, nil
+		}
+		return isa.ADD, false, nil
+	case "sub":
+		if imm(1) {
+			return isa.SUBI, true, nil
+		}
+		return isa.SUB, false, nil
+	case "mul":
+		return isa.MUL, false, nil
+	case "div":
+		return isa.DIV, false, nil
+	case "mod":
+		return isa.MOD, false, nil
+	case "and":
+		if imm(1) {
+			return isa.ANDI, true, nil
+		}
+		return isa.AND, false, nil
+	case "or":
+		if imm(1) {
+			return isa.ORI, true, nil
+		}
+		return isa.OR, false, nil
+	case "xor":
+		return isa.XOR, false, nil
+	case "shl":
+		return isa.SHL, true, nil
+	case "shr":
+		return isa.SHR, true, nil
+	case "sar":
+		return isa.SAR, true, nil
+	case "neg":
+		return isa.NEG, false, nil
+	case "not":
+		return isa.NOT, false, nil
+	case "inc":
+		return isa.INC, false, nil
+	case "dec":
+		return isa.DEC, false, nil
+	case "cmp":
+		if imm(1) {
+			return isa.CMPI, true, nil
+		}
+		return isa.CMP, false, nil
+	case "jmp":
+		return isa.JMP, true, nil
+	case "jz", "je":
+		return isa.JZ, true, nil
+	case "jnz", "jne":
+		return isa.JNZ, true, nil
+	case "jl":
+		return isa.JL, true, nil
+	case "jg":
+		return isa.JG, true, nil
+	case "jle":
+		return isa.JLE, true, nil
+	case "jge":
+		return isa.JGE, true, nil
+	case "jb":
+		return isa.JB, true, nil
+	case "jae":
+		return isa.JAE, true, nil
+	case "call":
+		return isa.CALL, true, nil
+	case "push":
+		return isa.PUSH, false, nil
+	case "pop":
+		return isa.POP, false, nil
+	case "out":
+		return isa.OUT, true, nil
+	case "in":
+		return isa.IN, true, nil
+	case "lgdt":
+		return isa.LGDT, true, nil
+	case "movcr":
+		return isa.MOVCR, false, nil
+	case "rdcr":
+		return isa.RDCR, false, nil
+	case "ljmp16", "ljmp32", "ljmp64":
+		return isa.LJMP, true, nil
+	case "shlv":
+		return isa.SHLV, false, nil
+	case "shrv":
+		return isa.SHRV, false, nil
+	case "sarv":
+		return isa.SARV, false, nil
+	}
+	return 0, false, &Error{s.line, "unknown mnemonic " + s.mnem}
+}
+
+func (a *assembler) resolve(s *stmt, tok string) (uint64, error) {
+	if v, ok := a.labels[tok]; ok {
+		return v, nil
+	}
+	if v, ok := a.equs[tok]; ok {
+		return v, nil
+	}
+	// label+offset / label-offset
+	for _, sep := range []string{"+", "-"} {
+		if j := strings.LastIndex(tok, sep); j > 0 {
+			base, err1 := a.resolve(s, strings.TrimSpace(tok[:j]))
+			off, err2 := parseInt(tok[j+1:])
+			if err1 == nil && err2 == nil {
+				if sep == "+" {
+					return base + off, nil
+				}
+				return base - off, nil
+			}
+		}
+	}
+	v, err := parseInt(tok)
+	if err != nil {
+		return 0, &Error{s.line, "unresolved symbol " + tok}
+	}
+	return v, nil
+}
+
+// memOperand parses "[reg+disp]" / "[reg-disp]" / "[reg]".
+func (a *assembler) memOperand(s *stmt, tok string) (isa.Reg, uint64, error) {
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return 0, 0, &Error{s.line, "expected memory operand, got " + tok}
+	}
+	inner := strings.TrimSpace(tok[1 : len(tok)-1])
+	sign := uint64(1)
+	regPart, dispPart := inner, ""
+	if j := strings.IndexAny(inner, "+-"); j > 0 {
+		regPart = strings.TrimSpace(inner[:j])
+		dispPart = strings.TrimSpace(inner[j+1:])
+		if inner[j] == '-' {
+			sign = ^uint64(0) // -1
+		}
+	}
+	r, ok := isa.RegByName(regPart)
+	if !ok {
+		return 0, 0, &Error{s.line, "bad base register " + regPart}
+	}
+	var disp uint64
+	if dispPart != "" {
+		v, err := a.resolve(s, dispPart)
+		if err != nil {
+			return 0, 0, err
+		}
+		disp = v * sign
+	}
+	return r, disp, nil
+}
+
+// emit is pass 2.
+func (a *assembler) emit() ([]byte, error) {
+	var out []byte
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		if s.mnem == "" {
+			continue
+		}
+		// Keep output position in sync with layout addresses.
+		want := int(s.addr - a.origin)
+		for len(out) < want {
+			out = append(out, 0)
+		}
+		b, err := a.emitStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) != s.size {
+			return nil, &Error{s.line, fmt.Sprintf("size mismatch: laid out %d, emitted %d", s.size, len(b))}
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+func (a *assembler) emitStmt(s *stmt) ([]byte, error) {
+	switch s.mnem {
+	case ".db":
+		var out []byte
+		for _, arg := range s.args {
+			if strings.HasPrefix(arg, `"`) {
+				str, err := strconv.Unquote(arg)
+				if err != nil {
+					return nil, &Error{s.line, "bad string literal"}
+				}
+				out = append(out, str...)
+				continue
+			}
+			v, err := a.resolve(s, arg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, byte(v))
+		}
+		return out, nil
+	case ".dw", ".dd", ".dq", ".word":
+		w := map[string]int{".dw": 2, ".dd": 4, ".dq": 8, ".word": s.mode.Width()}[s.mnem]
+		var out []byte
+		for _, arg := range s.args {
+			v, err := a.resolve(s, arg)
+			if err != nil {
+				return nil, err
+			}
+			for k := 0; k < w; k++ {
+				out = append(out, byte(v>>(8*k)))
+			}
+		}
+		return out, nil
+	case ".zero":
+		n, _ := parseInt(s.args[0])
+		return make([]byte, n), nil
+	case ".align":
+		return make([]byte, s.size), nil
+	}
+	op, _, err := a.selectOp(s)
+	if err != nil {
+		return nil, err
+	}
+	enc := []byte{byte(op)}
+	putWord := func(v uint64) {
+		var buf [8]byte
+		n := isa.PutWord(buf[:], s.mode, v)
+		enc = append(enc, buf[:n]...)
+	}
+	reg := func(tok string) (isa.Reg, error) {
+		r, ok := isa.RegByName(tok)
+		if !ok {
+			return 0, &Error{s.line, "bad register " + tok}
+		}
+		return r, nil
+	}
+	need := func(n int) error {
+		if len(s.args) != n {
+			return &Error{s.line, fmt.Sprintf("%s wants %d operands, got %d", s.mnem, n, len(s.args))}
+		}
+		return nil
+	}
+
+	switch op {
+	case isa.NOP, isa.HLT, isa.RET, isa.CLI, isa.STI:
+		// no operands
+
+	case isa.MOV, isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD,
+		isa.AND, isa.OR, isa.XOR, isa.CMP, isa.SHLV, isa.SHRV, isa.SARV:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		d, err := reg(s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		src, err := reg(s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		enc = append(enc, isa.PackRegs(d, src))
+
+	case isa.MOVI, isa.ADDI, isa.SUBI, isa.ANDI, isa.ORI, isa.CMPI:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		d, err := reg(s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.resolve(s, s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		enc = append(enc, isa.PackRegs(d, 0))
+		putWord(v)
+
+	case isa.LOAD, isa.LOADB:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		d, err := reg(s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		base, disp, err := a.memOperand(s, s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		enc = append(enc, isa.PackRegs(d, base))
+		putWord(disp)
+
+	case isa.STORE, isa.STOREB:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		base, disp, err := a.memOperand(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		src, err := reg(s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		enc = append(enc, isa.PackRegs(base, src))
+		putWord(disp)
+
+	case isa.SHL, isa.SHR, isa.SAR:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		d, err := reg(s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.resolve(s, s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		enc = append(enc, isa.PackRegs(d, 0), byte(v))
+
+	case isa.NEG, isa.NOT, isa.INC, isa.DEC, isa.PUSH, isa.POP:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		d, err := reg(s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		enc = append(enc, isa.PackRegs(d, 0))
+
+	case isa.JMP, isa.JZ, isa.JNZ, isa.JL, isa.JG, isa.JLE, isa.JGE,
+		isa.JB, isa.JAE, isa.CALL, isa.LGDT:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := a.resolve(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		putWord(v)
+
+	case isa.OUT:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		port, err := a.resolve(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := reg(s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		enc = append(enc, isa.PackRegs(r, 0), byte(port))
+
+	case isa.IN:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		r, err := reg(s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		port, err := a.resolve(s, s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		enc = append(enc, isa.PackRegs(r, 0), byte(port))
+
+	case isa.MOVCR:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		cr, ok := crByName(s.args[0])
+		if !ok {
+			return nil, &Error{s.line, "bad control register " + s.args[0]}
+		}
+		r, err := reg(s.args[1])
+		if err != nil {
+			return nil, err
+		}
+		enc = append(enc, isa.PackRegs(isa.Reg(cr), r))
+
+	case isa.RDCR:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		r, err := reg(s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		cr, ok := crByName(s.args[1])
+		if !ok {
+			return nil, &Error{s.line, "bad control register " + s.args[1]}
+		}
+		enc = append(enc, isa.PackRegs(r, isa.Reg(cr)))
+
+	case isa.LJMP:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		var width byte
+		switch s.mnem {
+		case "ljmp16":
+			width = 2
+		case "ljmp32":
+			width = 4
+		case "ljmp64":
+			width = 8
+		}
+		v, err := a.resolve(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		enc = append(enc, width)
+		putWord(v)
+	}
+	return enc, nil
+}
+
+func crByName(name string) (isa.CR, bool) {
+	switch strings.ToLower(name) {
+	case "cr0":
+		return isa.CR0, true
+	case "cr3":
+		return isa.CR3, true
+	case "cr4":
+		return isa.CR4, true
+	case "efer":
+		return isa.EFER, true
+	}
+	return 0, false
+}

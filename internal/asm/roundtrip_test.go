@@ -1,0 +1,135 @@
+package asm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Property: any instruction the assembler emits decodes back to the same
+// opcode and operands. We generate random-but-valid source lines, encode,
+// and decode.
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	regs := []string{"rax", "rcx", "rdx", "rbx", "rsi", "rdi", "r8", "r15"}
+	reg := func() string { return regs[rng.Intn(len(regs))] }
+	imm := func() int64 { return rng.Int63n(1 << 30) }
+
+	for trial := 0; trial < 300; trial++ {
+		var line string
+		var wantOp isa.Op
+		switch rng.Intn(12) {
+		case 0:
+			line = fmt.Sprintf("mov %s, %s", reg(), reg())
+			wantOp = isa.MOV
+		case 1:
+			line = fmt.Sprintf("mov %s, %d", reg(), imm())
+			wantOp = isa.MOVI
+		case 2:
+			line = fmt.Sprintf("add %s, %s", reg(), reg())
+			wantOp = isa.ADD
+		case 3:
+			line = fmt.Sprintf("sub %s, %d", reg(), imm())
+			wantOp = isa.SUBI
+		case 4:
+			line = fmt.Sprintf("load %s, [%s+%d]", reg(), reg(), rng.Intn(1024))
+			wantOp = isa.LOAD
+		case 5:
+			line = fmt.Sprintf("store [%s-%d], %s", reg(), rng.Intn(1024), reg())
+			wantOp = isa.STORE
+		case 6:
+			line = fmt.Sprintf("cmp %s, %s", reg(), reg())
+			wantOp = isa.CMP
+		case 7:
+			line = fmt.Sprintf("shl %s, %d", reg(), rng.Intn(63))
+			wantOp = isa.SHL
+		case 8:
+			line = fmt.Sprintf("out %d, %s", rng.Intn(256), reg())
+			wantOp = isa.OUT
+		case 9:
+			line = fmt.Sprintf("push %s", reg())
+			wantOp = isa.PUSH
+		case 10:
+			line = fmt.Sprintf("shlv %s, %s", reg(), reg())
+			wantOp = isa.SHLV
+		case 11:
+			line = fmt.Sprintf("xor %s, %s", reg(), reg())
+			wantOp = isa.XOR
+		}
+		p, err := Assemble(".bits 64\n\t" + line + "\n")
+		if err != nil {
+			t.Fatalf("assemble %q: %v", line, err)
+		}
+		in, err := isa.Decode(p.Code, 0, isa.Mode64)
+		if err != nil {
+			t.Fatalf("decode %q: %v", line, err)
+		}
+		if in.Op != wantOp {
+			t.Fatalf("%q decoded as %v, want %v", line, in.Op, wantOp)
+		}
+		if in.Len != len(p.Code) {
+			t.Fatalf("%q: decoded length %d != emitted %d", line, in.Len, len(p.Code))
+		}
+	}
+}
+
+func TestDisassembleReassembles(t *testing.T) {
+	// Disassembler output for simple 64-bit code must re-assemble to the
+	// same bytes (syntax-level round trip).
+	src := `
+.bits 64
+	movi rax, 42
+	mov rbx, rax
+	add rax, rbx
+	cmp rax, 100
+	push rax
+	pop rcx
+	neg rcx
+	hlt
+`
+	p1, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := isa.Disassemble(p1.Code, p1.Origin, isa.Mode64)
+	// Rebuild source from the disassembly (strip addresses).
+	var sb strings.Builder
+	sb.WriteString(".bits 64\n")
+	for _, line := range strings.Split(strings.TrimSpace(dis), "\n") {
+		parts := strings.SplitN(line, ": ", 2)
+		if len(parts) != 2 {
+			t.Fatalf("bad disasm line %q", line)
+		}
+		sb.WriteString("\t" + parts[1] + "\n")
+	}
+	p2, err := Assemble(sb.String())
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\n%s", err, sb.String())
+	}
+	if string(p1.Code) != string(p2.Code) {
+		t.Fatalf("round trip changed bytes:\n%x\n%x", p1.Code, p2.Code)
+	}
+}
+
+func TestAllOpcodesHaveNames(t *testing.T) {
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		if strings.Contains(op.String(), "?") {
+			t.Fatalf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestModeDependentEncodingLengths(t *testing.T) {
+	// The same source encodes shorter at narrower widths.
+	src := func(bits string) string { return ".bits " + bits + "\n\tmov rax, 1\n\tjmp 0\n" }
+	len16 := len(MustAssemble(src("16")).Code)
+	len32 := len(MustAssemble(src("32")).Code)
+	len64 := len(MustAssemble(src("64")).Code)
+	if !(len16 < len32 && len32 < len64) {
+		t.Fatalf("lengths %d %d %d not increasing with width", len16, len32, len64)
+	}
+}

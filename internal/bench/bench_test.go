@@ -1,0 +1,324 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Each experiment must run end to end and reproduce the paper's
+// structural claims. These tests use small trial counts; cmd/virtine-bench
+// runs the full versions.
+
+func cell(t *testing.T, tab *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d)", tab.ID, row, col)
+	}
+	return tab.Rows[row][col]
+}
+
+func cellF(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tab, row, col), 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not a number", tab.ID, row, col, cell(t, tab, row, col))
+	}
+	return v
+}
+
+func findRow(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	for i, r := range tab.Rows {
+		if strings.Contains(r[0], name) {
+			return i
+		}
+	}
+	t.Fatalf("%s: no row %q", tab.ID, name)
+	return -1
+}
+
+func TestFig2Ordering(t *testing.T) {
+	tab, err := Fig2(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := cellF(t, tab, findRow(t, tab, "function"), 1)
+	vmrun := cellF(t, tab, findRow(t, tab, "vmrun"), 1)
+	pthread := cellF(t, tab, findRow(t, tab, "pthread"), 1)
+	kvm := cellF(t, tab, findRow(t, tab, "KVM"), 1)
+	// C1: function << vmrun << pthread << KVM creation.
+	if !(fn < vmrun && vmrun < pthread && pthread < kvm) {
+		t.Fatalf("ordering violated: fn=%v vmrun=%v pthread=%v kvm=%v", fn, vmrun, pthread, kvm)
+	}
+}
+
+func TestTable1Claims(t *testing.T) {
+	tab, err := Table1(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ident := cellF(t, tab, findRow(t, tab, "Paging identity mapping"), 1)
+	prot := cellF(t, tab, findRow(t, tab, "Protected transition"), 1)
+	lgdt := cellF(t, tab, findRow(t, tab, "Load 32-bit GDT"), 1)
+	first := cellF(t, tab, findRow(t, tab, "First Instruction"), 1)
+	// C1: ident map dominates at ≈28K; protected ≈3K; total tens of K.
+	if ident < 24000 || ident > 34000 {
+		t.Fatalf("ident map = %v, want ≈28K", ident)
+	}
+	if prot < 3000 || prot > 4500 {
+		t.Fatalf("protected transition = %v, want ≈3.2K", prot)
+	}
+	if lgdt < 4000 || lgdt > 5500 {
+		t.Fatalf("lgdt = %v, want ≈4.1K", lgdt)
+	}
+	if first < 70 || first > 300 {
+		t.Fatalf("first instruction = %v, want ≈74", first)
+	}
+	if !(ident > lgdt && lgdt > prot/2 && prot > first) {
+		t.Fatal("component ordering violated")
+	}
+}
+
+func TestFig3ModeOrdering(t *testing.T) {
+	tab, err := Fig3(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m16 := cellF(t, tab, findRow(t, tab, "16-bit"), 1)
+	m32 := cellF(t, tab, findRow(t, tab, "32-bit"), 1)
+	m64 := cellF(t, tab, findRow(t, tab, "64-bit"), 1)
+	// C2: 16-bit cheapest; 32 and 64 within ~15% of each other.
+	if !(m16 < m32 && m16 < m64) {
+		t.Fatalf("16-bit (%v) should be cheapest (32: %v, 64: %v)", m16, m32, m64)
+	}
+	if m64 < m32 {
+		t.Fatalf("long mode (%v) should not be cheaper than protected (%v)", m64, m32)
+	}
+	if (m64-m32)/m32 > 0.30 {
+		t.Fatalf("protected (%v) and long (%v) should be comparable", m32, m64)
+	}
+}
+
+func TestFig4Milestones(t *testing.T) {
+	tab, err := Fig4(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := cellF(t, tab, 0, 1)
+	recv := cellF(t, tab, 1, 1)
+	send := cellF(t, tab, 2, 1)
+	// C3: entry ≈10K cycles; response well under 1 ms (2.69M cycles).
+	if entry < 5000 || entry > 25000 {
+		t.Fatalf("main entry = %v, want ≈10K", entry)
+	}
+	if !(entry < recv && recv < send) {
+		t.Fatal("milestone ordering violated")
+	}
+	if send > 2_690_000 {
+		t.Fatalf("send milestone = %v cycles, want < 1ms", send)
+	}
+}
+
+func TestFig8PoolingClaims(t *testing.T) {
+	tab, err := Fig8(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmrun := cellF(t, tab, findRow(t, tab, "vmrun"), 1)
+	ca := cellF(t, tab, findRow(t, tab, "Wasp+CA"), 1)
+	c := cellF(t, tab, findRow(t, tab, "Wasp+C"), 1)
+	scratch := cellF(t, tab, findRow(t, tab, "Wasp (no pooling)"), 1)
+	pthread := cellF(t, tab, findRow(t, tab, "pthread"), 1)
+	process := cellF(t, tab, findRow(t, tab, "process"), 1)
+	sgxCreate := cellF(t, tab, findRow(t, tab, "SGX create"), 1)
+	sgxECall := cellF(t, tab, findRow(t, tab, "SGX ecall"), 1)
+
+	// C4: pooled shells approach the vmrun hardware limit; Wasp+CA is
+	// within ~15% of it (paper: 4%); both pooled modes beat pthread;
+	// from-scratch creation is KVM-creation-dominated.
+	if (ca-vmrun)/vmrun > 0.35 {
+		t.Fatalf("Wasp+CA (%v) should approach vmrun (%v)", ca, vmrun)
+	}
+	if !(ca < c && c < pthread) {
+		t.Fatalf("pooling ordering violated: CA=%v C=%v pthread=%v", ca, c, pthread)
+	}
+	if scratch < pthread || scratch > process {
+		t.Fatalf("from-scratch Wasp (%v) should sit between pthread (%v) and process (%v)", scratch, pthread, process)
+	}
+	if sgxECall < vmrun || sgxCreate < process {
+		t.Fatal("SGX anchors out of place")
+	}
+}
+
+func TestTable2HasMeasuredRow(t *testing.T) {
+	tab, err := Table2(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := findRow(t, tab, "Virtines (measured)")
+	lat := cell(t, tab, row, 1)
+	if !strings.HasSuffix(lat, "us") {
+		t.Fatalf("latency cell %q", lat)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(lat, " us"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ≈5 µs boundary cross.
+	if v < 1 || v > 15 {
+		t.Fatalf("virtine boundary = %v us, want ≈5", v)
+	}
+}
+
+func TestFig11Amortization(t *testing.T) {
+	tab, err := Fig11(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: n, native, virtine, snapshot, slowdown, slowdown+snap.
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	slow0, _ := strconv.ParseFloat(first[5], 64)
+	slowN, _ := strconv.ParseFloat(last[5], 64)
+	// C5: ≈6.6x slowdown at fib(0) with snapshotting (band 3-12), and
+	// ≈1.0x by fib(30) (band ≤1.2).
+	if slow0 < 3 || slow0 > 12 {
+		t.Fatalf("fib(0) snapshot slowdown = %v, want ≈6.6", slow0)
+	}
+	if slowN > 1.2 {
+		t.Fatalf("fib(30) snapshot slowdown = %v, want ≈1.0", slowN)
+	}
+	// Snapshot beats no-snapshot at fib(0) by ≈2.5x (band 1.5-4).
+	virt0, _ := strconv.ParseFloat(first[2], 64)
+	snap0, _ := strconv.ParseFloat(first[3], 64)
+	if ratio := virt0 / snap0; ratio < 1.5 || ratio > 4 {
+		t.Fatalf("snapshot speedup at fib(0) = %v, want ≈2.5", ratio)
+	}
+}
+
+func TestFig12MemoryBound(t *testing.T) {
+	tab, err := Fig12(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C6: large images are memory-bandwidth-bound: the 16MB row's
+	// effective bandwidth is ≈6.7-6.8 GB/s, and latency ≈2.3 ms.
+	last := tab.Rows[len(tab.Rows)-1]
+	gbps, _ := strconv.ParseFloat(last[3], 64)
+	ms, _ := strconv.ParseFloat(last[2], 64)
+	if gbps < 5.5 || gbps > 8.0 {
+		t.Fatalf("16MB bandwidth = %v GB/s, want ≈6.7", gbps)
+	}
+	if ms < 2.0 || ms > 3.0 {
+		t.Fatalf("16MB latency = %v ms, want ≈2.3-2.5", ms)
+	}
+	// Latency must grow monotonically with image size.
+	prev := 0.0
+	for _, row := range tab.Rows {
+		v, _ := strconv.ParseFloat(row[1], 64)
+		if v < prev {
+			t.Fatalf("latency not monotone in image size: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFig13Claims(t *testing.T) {
+	tab, err := Fig13(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat := cellF(t, tab, findRow(t, tab, "native"), 1)
+	virt := cellF(t, tab, findRow(t, tab, "virtine"), 1)
+	snap := cellF(t, tab, findRow(t, tab, "virtine+snapshot"), 1)
+	if !(nat < snap && snap < virt) {
+		t.Fatalf("latency ordering violated: native=%v snap=%v virtine=%v", nat, snap, virt)
+	}
+	// C7: throughput drop for the virtine server is bounded (<4x here,
+	// paper ≈2x); throughput ordering inverts latency ordering.
+	natT := cellF(t, tab, findRow(t, tab, "native"), 2)
+	virtT := cellF(t, tab, findRow(t, tab, "virtine"), 2)
+	if virtT >= natT {
+		t.Fatal("virtine throughput should trail native")
+	}
+	if natT/virtT > 6 {
+		t.Fatalf("throughput drop = %vx, too large", natT/virtT)
+	}
+}
+
+func TestFig14Claims(t *testing.T) {
+	tab, err := Fig14(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C8: acceptable slowdown for the plain virtine; snapshot+NT beats
+	// native (sub-1 slowdown near 137 µs vs 419 µs).
+	virt := cellF(t, tab, findRow(t, tab, "virtine"), 3)
+	snapNT := cellF(t, tab, findRow(t, tab, "virtine+snapshot+NT"), 3)
+	if virt < 1.05 || virt > 2.0 {
+		t.Fatalf("virtine slowdown = %v, want 1.1-2.0 (paper ≈1.3)", virt)
+	}
+	if snapNT >= 1 {
+		t.Fatalf("snapshot+NT slowdown = %v, want < 1 (paper ≈0.33)", snapNT)
+	}
+}
+
+func TestFig15Claims(t *testing.T) {
+	tab, err := Fig15(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Vespid p50 must beat OpenWhisk p50 in every populated second.
+	for _, row := range tab.Rows {
+		vp50, _ := strconv.ParseFloat(row[2], 64)
+		wp50, _ := strconv.ParseFloat(row[4], 64)
+		if vp50 > 0 && wp50 > 0 && vp50 >= wp50 {
+			t.Fatalf("second %s: vespid p50 %v >= whisk %v", row[0], vp50, wp50)
+		}
+	}
+}
+
+func TestSpeedSection64(t *testing.T) {
+	tab, err := Fig64Speed(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slowdown decreases with block size.
+	prev := 1e18
+	for _, row := range tab.Rows {
+		s, _ := strconv.ParseFloat(row[3], 64)
+		if s >= prev {
+			t.Fatalf("slowdown not amortizing: %v after %v", s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestRegistryAndRendering(t *testing.T) {
+	if _, ok := Lookup("fig2"); !ok {
+		t.Fatal("fig2 missing from registry")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id resolved")
+	}
+	tab := &Table{
+		ID: "x", Title: "T", Header: []string{"a", "b"},
+	}
+	tab.AddRow("1", "2")
+	tab.Note("n=%d", 5)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	if !strings.Contains(buf.String(), "== x: T ==") || !strings.Contains(buf.String(), "note: n=5") {
+		t.Fatalf("render: %s", buf.String())
+	}
+	buf.Reset()
+	tab.CSV(&buf)
+	if !strings.HasPrefix(buf.String(), "a,b\n1,2\n") {
+		t.Fatalf("csv: %s", buf.String())
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"repro/internal/cycles"
+	"repro/internal/wasp"
+)
+
+// Asynchronous virtines (§2): "virtines could, given support in the
+// hypervisor, behave like asynchronous functions or futures" — the Gotee
+// comparison in the paper's footnote. Func.Go launches the invocation in
+// the background and returns a Future; the caller overlaps its own work
+// with the virtine and collects the result with Wait.
+//
+// Each future advances its own virtual clock: concurrent virtines model
+// independent cores, exactly like the paper's multi-tenant scenarios.
+
+// Future is an in-flight asynchronous virtine invocation.
+type Future struct {
+	ch chan futureResult
+}
+
+type futureResult struct {
+	val    int64
+	res    *wasp.Result
+	cycles uint64
+	err    error
+}
+
+// Go launches the virtine asynchronously. The returned Future must be
+// Waited exactly once.
+func (f *Func) Go(args ...int64) *Future {
+	fu := &Future{ch: make(chan futureResult, 1)}
+	go func() {
+		clk := cycles.NewClock()
+		val, res, err := f.CallOn(clk, args...)
+		fu.ch <- futureResult{val: val, res: res, cycles: clk.Now(), err: err}
+	}()
+	return fu
+}
+
+// Wait blocks until the virtine completes and returns its result.
+func (fu *Future) Wait() (int64, *wasp.Result, error) {
+	r := <-fu.ch
+	return r.val, r.res, r.err
+}
+
+// GoAll launches one asynchronous invocation per argument tuple and
+// waits for all of them, returning results in order. The first error
+// wins, but all virtines run to completion (no cancellation — a virtine
+// is destroyed with its VM, not interrupted).
+func (f *Func) GoAll(argTuples ...[]int64) ([]int64, error) {
+	futures := make([]*Future, len(argTuples))
+	for i, args := range argTuples {
+		futures[i] = f.Go(args...)
+	}
+	out := make([]int64, len(futures))
+	var firstErr error
+	for i, fu := range futures {
+		v, _, err := fu.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[i] = v
+	}
+	return out, firstErr
+}

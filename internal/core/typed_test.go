@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cycles"
+)
+
+const strHashSrc = `
+virtine int hash(char *s) {
+	int h = 0;
+	for (int i = 0; s[i]; i++) { h = h * 31 + s[i]; }
+	return h;
+}
+
+virtine int weigh(char *s, int k) {
+	return strlen(s) * k;
+}
+
+virtine int cat_check(char *a, char *b) {
+	char buf[128];
+	strcpy(buf, a);
+	int n = strlen(a);
+	strcpy(buf + n, b);
+	return strlen(buf);
+}`
+
+func goHash(s string) int64 {
+	var h int64
+	for _, c := range []byte(s) {
+		h = h*31 + int64(c)
+	}
+	return h
+}
+
+func TestStringArgumentMarshalling(t *testing.T) {
+	client := NewClient()
+	fns, err := client.CompileC(strHashSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"", "a", "virtines at the hardware limit", strings.Repeat("x", 500)} {
+		got, _, err := fns["hash"].CallTyped(cycles.NewClock(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != goHash(s) {
+			t.Fatalf("hash(%q) = %d, want %d", s, got, goHash(s))
+		}
+	}
+}
+
+func TestMixedTypedArguments(t *testing.T) {
+	client := NewClient()
+	fns, err := client.CompileC(strHashSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := fns["weigh"].CallTyped(cycles.NewClock(), "seven77", int64(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("weigh = %d", got)
+	}
+}
+
+func TestTwoStringArguments(t *testing.T) {
+	client := NewClient()
+	fns, err := client.CompileC(strHashSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := fns["cat_check"].CallTyped(cycles.NewClock(), "hello ", "world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int64(len("hello world")) {
+		t.Fatalf("cat_check = %d", got)
+	}
+}
+
+func TestTypedSignatureChecking(t *testing.T) {
+	client := NewClient()
+	fns, err := client.CompileC(strHashSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// String where an int is expected.
+	if _, _, err := fns["weigh"].CallTyped(cycles.NewClock(), "s", "not-an-int"); err == nil {
+		t.Fatal("string bound to int parameter")
+	}
+	// Int where a char* is expected.
+	if _, _, err := fns["hash"].CallTyped(cycles.NewClock(), int64(5)); err == nil {
+		t.Fatal("int bound to char* parameter")
+	}
+	// Arity.
+	if _, _, err := fns["hash"].CallTyped(cycles.NewClock()); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	// Unsupported Go type.
+	if _, _, err := fns["hash"].CallTyped(cycles.NewClock(), 3.14); err == nil {
+		t.Fatal("float accepted")
+	}
+}
+
+func TestTypedArgumentsTooLarge(t *testing.T) {
+	client := NewClient()
+	fns, err := client.CompileC(strHashSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := strings.Repeat("z", 8<<10) // exceeds the 4 KB argument page
+	if _, _, err := fns["hash"].CallTyped(cycles.NewClock(), huge); err == nil {
+		t.Fatal("oversized string accepted")
+	}
+}
+
+func TestTypedArgsFreshAcrossSnapshotRuns(t *testing.T) {
+	client := NewClient()
+	fns, err := client.CompileC(strHashSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fns["hash"]
+	if got, _, _ := h.CallTyped(cycles.NewClock(), "first"); got != goHash("first") {
+		t.Fatal("first call wrong")
+	}
+	// Snapshot-restored run must see the new string, and a shorter
+	// string must not expose stale bytes of a longer previous one.
+	if got, _, _ := h.CallTyped(cycles.NewClock(), "second-longer-string"); got != goHash("second-longer-string") {
+		t.Fatal("second call wrong")
+	}
+	if got, _, _ := h.CallTyped(cycles.NewClock(), "x"); got != goHash("x") {
+		t.Fatal("short-after-long call wrong (stale argument bytes)")
+	}
+}

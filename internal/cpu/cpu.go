@@ -1,0 +1,226 @@
+// Package cpu implements the guest CPU emulator for the VX instruction
+// set. One CPU executes one virtine's code against that virtine's private
+// guest-physical memory, advancing a virtual cycle clock with calibrated
+// per-operation costs. The CPU is architecturally faithful where the
+// paper's boot-cost analysis (§4.2, Table 1) depends on architecture:
+//
+//   - It powers on in 16-bit real mode at the image entry point.
+//   - Writing CR0.PE transitions to protected mode (3217-cycle charge).
+//   - Enabling CR0.PG with EFER.LME set activates long mode.
+//   - LGDT really reads a 10-byte descriptor from guest memory; the first
+//     (cold) load carries Table 1's 4118-cycle cost.
+//   - LJMP completes mode switches and is validated against the control
+//     registers, so a guest cannot jump to 64-bit code without paging on.
+//   - In long mode the MMU walks real 4-level page tables that the guest
+//     built in its own memory (2 MB large pages), with a TLB in front.
+//   - OUT to a port causes a VM exit — the hypercall trap Wasp interposes
+//     on (§5.1).
+//
+// The CPU also records event timestamps (mode transitions, GDT loads,
+// first long-mode instruction, CR3 load) so the Table 1 boot breakdown is
+// measured, not asserted.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/isa"
+)
+
+// Event identifies a boot milestone the CPU timestamps.
+type Event uint8
+
+const (
+	EvLgdt Event = iota
+	EvProtected
+	EvLongActive
+	EvLjmp32
+	EvLjmp64
+	EvFirstInstr64
+	EvCR3Load
+	EvIdentMapStart // first store after entering protected mode
+	NumEvents
+)
+
+func (e Event) String() string {
+	switch e {
+	case EvLgdt:
+		return "lgdt"
+	case EvProtected:
+		return "protected-transition"
+	case EvLongActive:
+		return "long-transition"
+	case EvLjmp32:
+		return "ljmp32"
+	case EvLjmp64:
+		return "ljmp64"
+	case EvFirstInstr64:
+		return "first-instr64"
+	case EvCR3Load:
+		return "cr3-load"
+	case EvIdentMapStart:
+		return "ident-map-start"
+	}
+	return "ev?"
+}
+
+// ExitReason explains why control returned to the VMM.
+type ExitReason uint8
+
+const (
+	ExitNone  ExitReason = iota
+	ExitHalt             // HLT retired
+	ExitIO               // OUT/IN port access (hypercall)
+	ExitFault            // architectural fault (bad fetch, page fault, ...)
+)
+
+func (r ExitReason) String() string {
+	switch r {
+	case ExitNone:
+		return "none"
+	case ExitHalt:
+		return "halt"
+	case ExitIO:
+		return "io"
+	case ExitFault:
+		return "fault"
+	}
+	return "exit?"
+}
+
+// Exit describes one VM exit.
+type Exit struct {
+	Reason ExitReason
+	Port   uint8   // for ExitIO
+	In     bool    // true when the guest is reading (IN)
+	Reg    isa.Reg // register carrying the OUT value / receiving IN
+	Err    error   // for ExitFault
+}
+
+// Flags holds the condition codes.
+type Flags struct {
+	ZF, SF, CF, OF bool
+}
+
+// CPU is one virtual processor.
+type CPU struct {
+	Regs  [isa.NumRegs]uint64
+	IP    uint64
+	Flags Flags
+
+	CR0, CR3, CR4, EFER uint64
+	GDTBase             uint64
+	GDTLimit            uint16
+
+	Mode isa.Mode
+	Mem  []byte // guest-physical memory, owned by the VM context
+
+	Clock *cycles.Clock
+
+	// Events holds the cycle timestamp of each boot milestone; zero
+	// means "not reached" (cycle 0 cannot coincide with any milestone
+	// because decoding the first instruction costs at least one cycle).
+	Events [NumEvents]uint64
+
+	// Retired counts instructions retired.
+	Retired uint64
+
+	Halted bool
+
+	// NoTLB disables the translation cache (ablation: every long-mode
+	// access pays a full page walk).
+	NoTLB bool
+
+	// OnStore, when set, observes every guest store (physical address,
+	// length) — the VMM's dirty-page tracker for copy-on-write resets.
+	OnStore func(paddr uint64, n int)
+
+	tlb        map[uint64]uint64 // 2MB page: vaddr>>21 → physical base
+	gdtLoads   int
+	pendFirst  bool // next retired instruction is the first in long mode
+	sawStore32 bool // EvIdentMapStart latch
+}
+
+// New returns a powered-on CPU in real mode, with IP at entry, owning mem,
+// advancing clk.
+func New(mem []byte, clk *cycles.Clock, entry uint64) *CPU {
+	c := &CPU{
+		Mem:   mem,
+		Clock: clk,
+		IP:    entry,
+		Mode:  isa.Mode16,
+		tlb:   make(map[uint64]uint64),
+	}
+	c.Regs[isa.RSP] = uint64(len(mem)) // stack grows down from the top
+	return c
+}
+
+// Reset returns the CPU to power-on state at entry without touching
+// memory. Used when replaying a snapshot, whose register file is restored
+// separately.
+func (c *CPU) Reset(entry uint64) {
+	*c = CPU{
+		Mem:     c.Mem,
+		Clock:   c.Clock,
+		OnStore: c.OnStore,
+		IP:      entry,
+		Mode:    isa.Mode16,
+		tlb:     make(map[uint64]uint64),
+	}
+	c.Regs[isa.RSP] = uint64(len(c.Mem))
+}
+
+// State snapshots the architectural register state (not memory).
+type State struct {
+	Regs                [isa.NumRegs]uint64
+	IP                  uint64
+	Flags               Flags
+	CR0, CR3, CR4, EFER uint64
+	GDTBase             uint64
+	GDTLimit            uint16
+	Mode                isa.Mode
+	GDTLoads            int
+}
+
+// Save captures the architectural state for snapshotting (§5.2).
+func (c *CPU) Save() State {
+	return State{
+		Regs: c.Regs, IP: c.IP, Flags: c.Flags,
+		CR0: c.CR0, CR3: c.CR3, CR4: c.CR4, EFER: c.EFER,
+		GDTBase: c.GDTBase, GDTLimit: c.GDTLimit, Mode: c.Mode,
+		GDTLoads: c.gdtLoads,
+	}
+}
+
+// Restore reinstates a saved architectural state. The TLB is flushed, as
+// on a real mode/CR3 change.
+func (c *CPU) Restore(s State) {
+	c.Regs, c.IP, c.Flags = s.Regs, s.IP, s.Flags
+	c.CR0, c.CR3, c.CR4, c.EFER = s.CR0, s.CR3, s.CR4, s.EFER
+	c.GDTBase, c.GDTLimit, c.Mode = s.GDTBase, s.GDTLimit, s.Mode
+	c.gdtLoads = s.GDTLoads
+	c.Halted = false
+	c.tlb = make(map[uint64]uint64)
+}
+
+func (c *CPU) fault(format string, args ...any) *Exit {
+	return &Exit{Reason: ExitFault, Err: fmt.Errorf("cpu: "+format, args...)}
+}
+
+// mark records an event timestamp once.
+func (c *CPU) mark(e Event) {
+	if c.Events[e] == 0 {
+		c.Events[e] = c.Clock.Now()
+	}
+}
+
+// EventDelta returns the cycles between two recorded events, or 0 if
+// either is missing.
+func (c *CPU) EventDelta(from, to Event) uint64 {
+	a, b := c.Events[from], c.Events[to]
+	if a == 0 || b == 0 || b < a {
+		return 0
+	}
+	return b - a
+}

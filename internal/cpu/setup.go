@@ -1,0 +1,61 @@
+package cpu
+
+import "repro/internal/isa"
+
+// DefaultTableBase is where host-side setup places the identity-map page
+// tables: PML4 at base, PDPT at base+0x1000, PD at base+0x2000. Guest
+// boot stubs use the same layout.
+const DefaultTableBase = 0x1000
+
+// SetupProtected configures the CPU for flat 32-bit protected mode from
+// the host side, the state a snapshot of a protected-mode virtine resumes
+// into. No guest cycles are charged: this models the VMM writing vCPU
+// state (KVM_SET_SREGS), not the guest booting.
+func (c *CPU) SetupProtected() {
+	c.CR0 |= isa.CR0PE
+	if c.GDTLimit == 0 {
+		c.GDTLimit = 23 // three flat descriptors
+	}
+	c.Mode = isa.Mode32
+	c.FlushTLB()
+}
+
+// SetupLongMode configures the CPU for flat 64-bit long mode from the host
+// side: it writes identity-mapping page tables (2 MB pages covering the
+// first 1 GB) into guest memory at DefaultTableBase and sets the control
+// registers the way a completed boot would have. No guest cycles are
+// charged. This is the "reset state" a long-mode snapshot resumes into
+// (§5.2, Fig 7): the expensive table construction happened once, on the
+// first execution.
+func (c *CPU) SetupLongMode() {
+	base := uint64(DefaultTableBase)
+	WriteIdentityTables(c.Mem, base)
+	c.CR3 = base
+	c.CR4 |= isa.CR4PAE
+	c.EFER |= isa.EFERLME | isa.EFERLMA
+	c.CR0 |= isa.CR0PE | isa.CR0PG
+	if c.GDTLimit == 0 {
+		c.GDTLimit = 23
+	}
+	c.Mode = isa.Mode64
+	c.FlushTLB()
+}
+
+// WriteIdentityTables writes a 3-level identity mapping (PML4, PDPT, PD
+// with 512 × 2 MB large pages = 1 GB) into mem at base. It is used both by
+// host-side setup and by tests that need known-good tables.
+func WriteIdentityTables(mem []byte, base uint64) {
+	put := func(addr, v uint64) {
+		for i := 0; i < 8; i++ {
+			mem[addr+uint64(i)] = byte(v >> (8 * i))
+		}
+	}
+	pml4, pdpt, pd := base, base+0x1000, base+0x2000
+	for i := uint64(0); i < 512; i++ {
+		put(pml4+i*8, 0)
+		put(pdpt+i*8, 0)
+		put(pd+i*8, (i<<21)|ptePS|pteWrite|ptePresent)
+	}
+	put(pml4, pdpt|pteWrite|ptePresent)
+	put(pdpt, pd|pteWrite|ptePresent)
+}

@@ -1,0 +1,349 @@
+package js
+
+import (
+	"encoding/base64"
+	"strings"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/wasp"
+)
+
+func eval(t *testing.T, src string) Value {
+	t.Helper()
+	e := NewEngine(nil)
+	v, err := e.Eval(src)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func num(t *testing.T, src string) float64 {
+	t.Helper()
+	v := eval(t, src)
+	f, ok := v.(float64)
+	if !ok {
+		t.Fatalf("eval %q = %v (%T), want number", src, v, v)
+	}
+	return f
+}
+
+func str(t *testing.T, src string) string {
+	t.Helper()
+	v := eval(t, src)
+	s, ok := v.(string)
+	if !ok {
+		t.Fatalf("eval %q = %v (%T), want string", src, v, v)
+	}
+	return s
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 4", 2.5},
+		{"10 % 3", 1},
+		{"-5 + 3", -2},
+		{"2 * 3 - 1", 5},
+		{"0x10 + 1", 17},
+	}
+	for _, tc := range cases {
+		if got := num(t, tc.src); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestBitwise(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"12 & 10", 8},
+		{"12 | 10", 14},
+		{"12 ^ 10", 6},
+		{"1 << 4", 16},
+		{"-8 >> 1", -4},
+		{"~0 >>> 28", 15},
+		{"~5", -6},
+	}
+	for _, tc := range cases {
+		if got := num(t, tc.src); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestVariablesAndLoops(t *testing.T) {
+	got := num(t, `
+var sum = 0;
+for (var i = 0; i < 10; i++) {
+	if (i % 2 == 0) { continue; }
+	sum += i;
+}
+sum;
+`)
+	if got != 25 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+func TestWhileBreak(t *testing.T) {
+	got := num(t, `
+var i = 0;
+while (true) { i++; if (i >= 7) { break; } }
+i;
+`)
+	if got != 7 {
+		t.Fatalf("i = %v", got)
+	}
+}
+
+func TestFunctionsAndClosures(t *testing.T) {
+	got := num(t, `
+function adder(n) {
+	return function(x) { return x + n; };
+}
+var add5 = adder(5);
+add5(37);
+`)
+	if got != 42 {
+		t.Fatalf("closure = %v", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	got := num(t, `
+function fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+fib(12);
+`)
+	if got != 144 {
+		t.Fatalf("fib(12) = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := str(t, `"foo" + "bar"`); got != "foobar" {
+		t.Fatalf("concat = %q", got)
+	}
+	if got := num(t, `"hello".length`); got != 5 {
+		t.Fatalf("length = %v", got)
+	}
+	if got := str(t, `"hello".charAt(1)`); got != "e" {
+		t.Fatalf("charAt = %q", got)
+	}
+	if got := num(t, `"A".charCodeAt(0)`); got != 65 {
+		t.Fatalf("charCodeAt = %v", got)
+	}
+	if got := str(t, `String.fromCharCode(104, 105)`); got != "hi" {
+		t.Fatalf("fromCharCode = %q", got)
+	}
+	if got := str(t, `"abcdef".substring(2, 4)`); got != "cd" {
+		t.Fatalf("substring = %q", got)
+	}
+	if got := str(t, `"num: " + 42`); got != "num: 42" {
+		t.Fatalf("num concat = %q", got)
+	}
+}
+
+func TestArraysAndObjects(t *testing.T) {
+	got := num(t, `
+var a = [1, 2, 3];
+a.push(4);
+a[0] + a[3] + a.length;
+`)
+	if got != 9 {
+		t.Fatalf("array = %v", got)
+	}
+	got2 := num(t, `
+var o = { x: 10, y: 20 };
+o.z = o.x + o.y;
+o["z"] + 1;
+`)
+	if got2 != 31 {
+		t.Fatalf("object = %v", got2)
+	}
+}
+
+func TestTernaryAndLogical(t *testing.T) {
+	if got := num(t, `1 ? 10 : 20`); got != 10 {
+		t.Fatal("ternary")
+	}
+	if got := num(t, `0 || 5`); got != 5 {
+		t.Fatal("|| short circuit value")
+	}
+	if got := num(t, `3 && 4`); got != 4 {
+		t.Fatal("&& value")
+	}
+	// Short circuit must not evaluate the right side.
+	if got := num(t, `var n = 0; function boom() { n = 99; return 1; } false && boom(); n;`); got != 0 {
+		t.Fatal("&& evaluated rhs")
+	}
+}
+
+func TestTypeof(t *testing.T) {
+	if got := str(t, `typeof 5`); got != "number" {
+		t.Fatal(got)
+	}
+	if got := str(t, `typeof "x"`); got != "string" {
+		t.Fatal(got)
+	}
+	if got := str(t, `typeof undefined`); got != "undefined" {
+		t.Fatal(got)
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	if got := num(t, `Math.floor(3.7)`); got != 3 {
+		t.Fatal("floor")
+	}
+	if got := num(t, `Math.max(2, Math.abs(-9))`); got != 9 {
+		t.Fatal("max/abs")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := NewEngine(nil)
+	for _, src := range []string{
+		`undefined_variable_xyz`,
+		`var a = [1]; a.frobnicate()`,
+		`5(`,
+		`function f( {`,
+		`"unterminated`,
+		`5 = 3`,
+	} {
+		if _, err := e.Eval(src); err == nil {
+			t.Errorf("Eval(%q): expected error", src)
+		}
+	}
+}
+
+func TestRunawayRecursionCaught(t *testing.T) {
+	e := NewEngine(nil)
+	_, err := e.Eval(`function f() { return f(); } f();`)
+	if err == nil || !strings.Contains(err.Error(), "stack") {
+		t.Fatalf("err = %v, want stack exhaustion", err)
+	}
+}
+
+func TestBase64MatchesStdlib(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 57, 100, 255} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i * 13)
+		}
+		e := NewEngine(nil)
+		e.Bind("input", string(data))
+		v, err := e.Eval(Base64JS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := base64.StdEncoding.EncodeToString(data)
+		if ToString(v) != want {
+			t.Fatalf("n=%d: js b64 = %q, want %q", n, ToString(v), want)
+		}
+	}
+}
+
+func TestChargesAccumulate(t *testing.T) {
+	var total uint64
+	e := NewEngine(func(c uint64) { total += c })
+	if total < EngineInitCost {
+		t.Fatal("init not charged")
+	}
+	before := total
+	e.InstallBindings(clientBindings())
+	if total-before < BindingsCost {
+		t.Fatal("bindings not charged")
+	}
+	before = total
+	if _, err := e.Eval(`1 + 1`); err != nil {
+		t.Fatal(err)
+	}
+	if total == before {
+		t.Fatal("eval not charged")
+	}
+	before = total
+	e.Close()
+	if total-before < TeardownCost {
+		t.Fatal("teardown not charged")
+	}
+	e.Close() // idempotent
+	if total-before != TeardownCost {
+		t.Fatal("double teardown charged twice")
+	}
+}
+
+func TestEngineClosedRejectsEval(t *testing.T) {
+	e := NewEngine(nil)
+	e.Close()
+	if _, err := e.Eval("1"); err == nil {
+		t.Fatal("eval after close accepted")
+	}
+}
+
+func TestVirtineEncodeMatchesNative(t *testing.T) {
+	w := wasp.New()
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	v := NewVirtineJS(w, true, true)
+	got, err := v.Encode(data, cycles.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base64.StdEncoding.EncodeToString(data)
+	if got != want {
+		t.Fatalf("virtine b64 = %q, want %q", got, want)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	w := wasp.New()
+	pts, err := RunFig14(w, 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) Fig14Point {
+		for _, p := range pts {
+			if p.Name == name {
+				return p
+			}
+		}
+		t.Fatalf("missing point %s", name)
+		return Fig14Point{}
+	}
+	native := get("native")
+	virt := get("virtine")
+	snapNT := get("virtine+snapshot+NT")
+
+	// §6.5 structural claims:
+	// 1. Native baseline ≈ 419 µs (we accept 300-550).
+	if native.Micros < 300 || native.Micros > 550 {
+		t.Fatalf("native baseline = %.0f µs, want ≈419", native.Micros)
+	}
+	// 2. The plain virtine is slower than native by roughly +125 µs.
+	extra := virt.Micros - native.Micros
+	if extra < 40 || extra > 300 {
+		t.Fatalf("virtine overhead = %.0f µs, want ≈125", extra)
+	}
+	// 3. Snapshot+NT drops below native — "the virtine can almost
+	//    entirely avoid the cost of allocating and freeing the Duktape
+	//    context" — landing near 137 µs.
+	if snapNT.Slowdown >= 1 {
+		t.Fatalf("snapshot+NT slowdown = %.2f, want < 1", snapNT.Slowdown)
+	}
+	if snapNT.Micros < 80 || snapNT.Micros > 260 {
+		t.Fatalf("snapshot+NT = %.0f µs, want ≈137", snapNT.Micros)
+	}
+	// 4. Optimization ordering: each optimization helps.
+	if !(get("virtine+snapshot").Cycles < virt.Cycles &&
+		get("virtine NT").Cycles < virt.Cycles &&
+		snapNT.Cycles < get("virtine+snapshot").Cycles &&
+		snapNT.Cycles < get("virtine NT").Cycles) {
+		t.Fatalf("optimization ordering violated: %+v", pts)
+	}
+}

@@ -1,0 +1,128 @@
+package serverless
+
+import (
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/wasp"
+)
+
+func TestVespidServiceCost(t *testing.T) {
+	w := wasp.New()
+	v := NewVespid(w, 4)
+	v.Register(&Function{Name: "b64", Payload: []byte("hello world payload")})
+	// First call takes the snapshot; steady-state cost is what matters.
+	if _, err := v.ServiceCycles("b64"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := v.ServiceCycles("b64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := cycles.Millis(c)
+	// Vespid request: front end + snapshot-restored JS virtine — low
+	// single-digit ms at most.
+	if ms <= 0 || ms > 5 {
+		t.Fatalf("vespid service = %.2f ms, want sub-5ms", ms)
+	}
+}
+
+func TestVespidUnknownFunction(t *testing.T) {
+	w := wasp.New()
+	v := NewVespid(w, 4)
+	if _, err := v.ServiceCycles("nope"); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}
+
+func TestOpenWhiskColdVsWarm(t *testing.T) {
+	o := NewOpenWhisk(4, 7)
+	_, cold := o.invoke(0)
+	_, warm := o.invoke(cold + 1000)
+	if cold <= warm {
+		t.Fatalf("cold (%d) should far exceed warm (%d)", cold, warm)
+	}
+	if cycles.Millis(cold) < 100 {
+		t.Fatalf("cold start = %.1f ms, want hundreds of ms", cycles.Millis(cold))
+	}
+	if cycles.Millis(warm) > 120 {
+		t.Fatalf("warm start = %.1f ms, too slow", cycles.Millis(warm))
+	}
+}
+
+func TestOpenWhiskIdleReclaim(t *testing.T) {
+	o := NewOpenWhisk(4, 7)
+	_, cold1 := o.invoke(0)
+	// After the idle timeout the container is reclaimed: cold again.
+	far := cold1 + o.IdleTimeout + uint64(cycles.Frequency)
+	_, cold2 := o.invoke(far)
+	if cycles.Millis(cold2) < 100 {
+		t.Fatalf("expected cold start after idle reclaim, got %.1f ms", cycles.Millis(cold2))
+	}
+}
+
+func TestOpenWhiskQueuesAtCap(t *testing.T) {
+	o := NewOpenWhisk(1, 7)
+	s1, svc1 := o.invoke(0)
+	s2, _ := o.invoke(1)
+	if s2 < s1+svc1 {
+		t.Fatal("second request should queue behind the single container")
+	}
+}
+
+func TestDefaultPatternShape(t *testing.T) {
+	p := DefaultPattern(100)
+	if p.UsersAt(0) >= p.UsersAt(25) {
+		t.Fatal("burst 1 should exceed ramp start")
+	}
+	if p.UsersAt(25) != 50 || p.UsersAt(65) != 50 {
+		t.Fatal("bursts should hit 50 users")
+	}
+	if p.UsersAt(45) != 20 {
+		t.Fatal("settle should be 20 users")
+	}
+	if p.UsersAt(99) >= 20 {
+		t.Fatal("ramp down should fall below settle")
+	}
+	arr := p.Arrivals()
+	if len(arr) == 0 {
+		t.Fatal("no arrivals")
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i] < arr[i-1] {
+			t.Fatal("arrivals not monotone")
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	w := wasp.New()
+	trace, err := RunFig15(w, DefaultPattern(12), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 12 {
+		t.Fatalf("trace buckets = %d", len(trace))
+	}
+	s := Summarize(trace)
+	// Fig 15's structural claims: the virtine platform achieves much
+	// lower latencies under bursty load than stock OpenWhisk, whose
+	// cold starts dominate burst onsets.
+	if s.VespidMeanP50 >= s.WhiskMeanP50 {
+		t.Fatalf("vespid p50 %.2f ms should beat openwhisk %.2f ms", s.VespidMeanP50, s.WhiskMeanP50)
+	}
+	if s.VespidWorstP99 >= s.WhiskWorstP99 {
+		t.Fatalf("vespid worst p99 %.2f ms should beat openwhisk %.2f ms", s.VespidWorstP99, s.WhiskWorstP99)
+	}
+	// OpenWhisk's worst p99 should show a cold-start spike (>100 ms).
+	if s.WhiskWorstP99 < 100 {
+		t.Fatalf("openwhisk p99 = %.1f ms, expected cold-start spike", s.WhiskWorstP99)
+	}
+	// Vespid stays in low milliseconds.
+	if s.VespidMeanP50 > 10 {
+		t.Fatalf("vespid mean p50 = %.2f ms, want low single digits", s.VespidMeanP50)
+	}
+	if s.VespidTotal == 0 || s.WhiskTotal == 0 {
+		t.Fatal("no completions recorded")
+	}
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean of 1..4 should be 2.5")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("stddev of one sample should be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Sample stddev of this classic series is ~2.138.
+	if math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("stddev = %v, want ≈2.138", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if !almost(HarmonicMean([]float64{1, 4, 4}), 2) {
+		t.Fatal("harmonic mean of {1,4,4} should be 2")
+	}
+	if HarmonicMean([]float64{1, 0, 2}) != 0 {
+		t.Fatal("harmonic mean with non-positive sample should be 0")
+	}
+	if HarmonicMean(nil) != 0 {
+		t.Fatal("harmonic mean of empty should be 0")
+	}
+}
+
+func TestHarmonicLeqArithmetic(t *testing.T) {
+	// Property: for positive data, harmonic mean ≤ arithmetic mean.
+	f := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return HarmonicMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatalf("Min/Max = %v/%v, want 1/5", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if !almost(Percentile(xs, 0), 10) {
+		t.Fatal("p0 should be min")
+	}
+	if !almost(Percentile(xs, 100), 50) {
+		t.Fatal("p100 should be max")
+	}
+	if !almost(Percentile(xs, 50), 30) {
+		t.Fatal("p50 should be median")
+	}
+	if !almost(Percentile(xs, 25), 20) {
+		t.Fatal("p25 with linear interpolation should be 20")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestTukeyFilterRemovesOutlier(t *testing.T) {
+	xs := []float64{10, 11, 12, 10, 11, 12, 10, 11, 500}
+	kept, removed := TukeyFilter(xs)
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	for _, k := range kept {
+		if k == 500 {
+			t.Fatal("outlier survived the filter")
+		}
+	}
+	if len(kept) != 8 {
+		t.Fatalf("kept %d, want 8", len(kept))
+	}
+}
+
+func TestTukeyFilterKeepsCleanData(t *testing.T) {
+	xs := []float64{10, 11, 12, 13, 14, 15}
+	kept, removed := TukeyFilter(xs)
+	if removed != 0 || len(kept) != len(xs) {
+		t.Fatalf("clean data was filtered: removed=%d", removed)
+	}
+}
+
+func TestTukeyFilterSmallInput(t *testing.T) {
+	xs := []float64{1, 1000}
+	kept, removed := TukeyFilter(xs)
+	if removed != 0 || len(kept) != 2 {
+		t.Fatal("inputs with <4 samples must pass through unfiltered")
+	}
+}
+
+func TestTukeyFilterPreservesOrder(t *testing.T) {
+	xs := []float64{12, 10, 11, 13, 10, 12}
+	kept, _ := TukeyFilter(xs)
+	for i := range kept {
+		if kept[i] != xs[i] {
+			t.Fatal("filter must preserve original sample order")
+		}
+	}
+}
+
+func TestTukeySubsetProperty(t *testing.T) {
+	// Property: filtered output is always a subset with bounds within input.
+	f := func(raw []int16) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		kept, removed := TukeyFilter(xs)
+		if len(kept)+removed != len(xs) {
+			return false
+		}
+		if len(kept) > 0 && (Min(kept) < Min(xs) || Max(kept) > Max(xs)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{100, 101, 99, 100, 102, 98, 100, 5000}
+	s := Summarize(xs)
+	if s.Outliers != 1 {
+		t.Fatalf("outliers = %d, want 1", s.Outliers)
+	}
+	if s.N != 7 {
+		t.Fatalf("n = %d, want 7", s.N)
+	}
+	if s.Mean < 98 || s.Mean > 102 {
+		t.Fatalf("mean = %v contaminated by outlier", s.Mean)
+	}
+	if s.Min > s.P50 || s.P50 > s.Max {
+		t.Fatal("ordering violated: min ≤ p50 ≤ max")
+	}
+	if s.String() == "" {
+		t.Fatal("String() should render")
+	}
+}
+
+func TestFromUint64(t *testing.T) {
+	out := FromUint64([]uint64{1, 2, 3})
+	if len(out) != 3 || out[2] != 3 {
+		t.Fatalf("FromUint64 = %v", out)
+	}
+}

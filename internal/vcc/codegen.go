@@ -1,0 +1,770 @@
+package vcc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Code generation targets 64-bit long mode. The model is a simple stack
+// machine: every expression leaves its value in rax; binary operators
+// spill the left operand to the stack. Frames are rbp-based:
+//
+//	[rbp+16+8i]  argument i (pushed right-to-left by the caller)
+//	[rbp+8]      return address (pushed by CALL)
+//	[rbp+0]      saved rbp
+//	[rbp-8...]   locals (8-byte slots; arrays rounded up)
+//
+// rax is the value register, rbx the secondary operand, rcx a scratch
+// address register; rdi/rsi/rdx carry hypercall arguments at OUT sites.
+// Values never live in registers across calls, so there is no save/restore
+// protocol beyond rbp.
+
+type local struct {
+	off int // positive: [rbp - off]
+	t   *Type
+}
+
+type gen struct {
+	sb      strings.Builder
+	file    *File
+	globals map[string]*VarDecl
+	funcs   map[string]*FuncDecl
+
+	// per-function state
+	fn       *FuncDecl
+	locals   []map[string]local
+	frame    int
+	labelN   int
+	breakLbl []string
+	contLbl  []string
+
+	// string literal pool
+	strs   []string
+	strLbl []string
+}
+
+func newGen(f *File) *gen {
+	g := &gen{
+		file:    f,
+		globals: make(map[string]*VarDecl),
+		funcs:   make(map[string]*FuncDecl),
+	}
+	for _, v := range f.Globals {
+		g.globals[v.Name] = v
+	}
+	for _, fn := range f.Funcs {
+		g.funcs[fn.Name] = fn
+	}
+	return g
+}
+
+func (g *gen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.sb, "\t"+format+"\n", args...)
+}
+
+func (g *gen) label(l string) { fmt.Fprintf(&g.sb, "%s:\n", l) }
+
+func (g *gen) newLabel(hint string) string {
+	g.labelN++
+	return fmt.Sprintf(".L%s%d", hint, g.labelN)
+}
+
+func (g *gen) strLabel(s string) string {
+	for i, prev := range g.strs {
+		if prev == s {
+			return g.strLbl[i]
+		}
+	}
+	l := fmt.Sprintf("str_%d", len(g.strs))
+	g.strs = append(g.strs, s)
+	g.strLbl = append(g.strLbl, l)
+	return l
+}
+
+// scope management
+
+func (g *gen) pushScope() { g.locals = append(g.locals, make(map[string]local)) }
+func (g *gen) popScope()  { g.locals = g.locals[:len(g.locals)-1] }
+
+func (g *gen) lookup(name string) (local, bool) {
+	for i := len(g.locals) - 1; i >= 0; i-- {
+		if l, ok := g.locals[i][name]; ok {
+			return l, true
+		}
+	}
+	return local{}, false
+}
+
+func (g *gen) declare(name string, t *Type, line int) (local, error) {
+	if _, dup := g.locals[len(g.locals)-1][name]; dup {
+		return local{}, errf(line, "redeclaration of %s", name)
+	}
+	size := t.Size()
+	if size < 8 {
+		size = 8
+	}
+	size = (size + 7) &^ 7
+	g.frame += size
+	l := local{off: g.frame, t: t}
+	g.locals[len(g.locals)-1][name] = l
+	return l, nil
+}
+
+// genFunc emits one function.
+func (g *gen) genFunc(fn *FuncDecl) error {
+	g.fn = fn
+	g.frame = 0
+	g.locals = nil
+	g.pushScope()
+	for i, p := range fn.Params {
+		if !p.T.IsScalar() {
+			return errf(fn.Line, "parameter %s has non-scalar type %s", p.Name, p.T)
+		}
+		// Parameters live above rbp; record with negative "offset"
+		// encoded as -(16+8i) so loads know where to look.
+		g.locals[0][p.Name] = local{off: -(16 + 8*i), t: p.T}
+	}
+
+	g.label("fn_" + fn.Name)
+	g.emit("push rbp")
+	g.emit("mov rbp, rsp")
+	// Frame size is patched afterwards: generate body into a sub-buffer.
+	outer := g.sb
+	g.sb = strings.Builder{}
+	if err := g.genBlock(fn.Body); err != nil {
+		return err
+	}
+	body := g.sb.String()
+	g.sb = outer
+	if g.frame > 0 {
+		g.emit("sub rsp, %d", (g.frame+15)&^15)
+	}
+	g.sb.WriteString(body)
+	// Implicit return 0 for control paths that fall off the end.
+	g.emit("movi rax, 0")
+	g.emit("mov rsp, rbp")
+	g.emit("pop rbp")
+	g.emit("ret")
+	g.popScope()
+	return nil
+}
+
+func (g *gen) genBlock(b *Block) error {
+	g.pushScope()
+	defer g.popScope()
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return g.genBlock(st)
+	case *VarDecl:
+		l, err := g.declare(st.Name, st.T, st.Line)
+		if err != nil {
+			return err
+		}
+		if st.Init != nil {
+			if !st.T.IsScalar() {
+				return errf(st.Line, "cannot initialize non-scalar local %s", st.Name)
+			}
+			if _, err := g.genExpr(st.Init); err != nil {
+				return err
+			}
+			g.store(l.t, fmt.Sprintf("[rbp-%d]", l.off))
+		}
+		return nil
+	case *ExprStmt:
+		_, err := g.genExpr(st.X)
+		return err
+	case *Return:
+		if st.X != nil {
+			if _, err := g.genExpr(st.X); err != nil {
+				return err
+			}
+		} else {
+			g.emit("movi rax, 0")
+		}
+		g.emit("mov rsp, rbp")
+		g.emit("pop rbp")
+		g.emit("ret")
+		return nil
+	case *If:
+		els := g.newLabel("else")
+		end := g.newLabel("endif")
+		if err := g.genCondJump(st.C, els); err != nil {
+			return err
+		}
+		if st.Then != nil {
+			if err := g.genStmt(st.Then); err != nil {
+				return err
+			}
+		}
+		if st.Else != nil {
+			g.emit("jmp %s", end)
+			g.label(els)
+			if err := g.genStmt(st.Else); err != nil {
+				return err
+			}
+			g.label(end)
+		} else {
+			g.label(els)
+		}
+		return nil
+	case *While:
+		top := g.newLabel("while")
+		end := g.newLabel("endwhile")
+		g.breakLbl = append(g.breakLbl, end)
+		g.contLbl = append(g.contLbl, top)
+		g.label(top)
+		if err := g.genCondJump(st.C, end); err != nil {
+			return err
+		}
+		if st.Body != nil {
+			if err := g.genStmt(st.Body); err != nil {
+				return err
+			}
+		}
+		g.emit("jmp %s", top)
+		g.label(end)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		return nil
+	case *For:
+		g.pushScope()
+		defer g.popScope()
+		if st.Init != nil {
+			if err := g.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		top := g.newLabel("for")
+		post := g.newLabel("forpost")
+		end := g.newLabel("endfor")
+		g.breakLbl = append(g.breakLbl, end)
+		g.contLbl = append(g.contLbl, post)
+		g.label(top)
+		if st.C != nil {
+			if err := g.genCondJump(st.C, end); err != nil {
+				return err
+			}
+		}
+		if st.Body != nil {
+			if err := g.genStmt(st.Body); err != nil {
+				return err
+			}
+		}
+		g.label(post)
+		if st.Post != nil {
+			if _, err := g.genExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		g.emit("jmp %s", top)
+		g.label(end)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		return nil
+	case *BreakStmt:
+		if len(g.breakLbl) == 0 {
+			return errf(st.Line, "break outside loop")
+		}
+		g.emit("jmp %s", g.breakLbl[len(g.breakLbl)-1])
+		return nil
+	case *ContinueStmt:
+		if len(g.contLbl) == 0 {
+			return errf(st.Line, "continue outside loop")
+		}
+		g.emit("jmp %s", g.contLbl[len(g.contLbl)-1])
+		return nil
+	}
+	return fmt.Errorf("vcc: unknown statement %T", s)
+}
+
+// genCondJump evaluates c and jumps to target when it is false.
+func (g *gen) genCondJump(c Expr, target string) error {
+	if _, err := g.genExpr(c); err != nil {
+		return err
+	}
+	g.emit("cmp rax, 0")
+	g.emit("jz %s", target)
+	return nil
+}
+
+// load/store emit a width-appropriate memory access through the operand
+// string (e.g. "[rbx]" or "[rbp-8]").
+func (g *gen) load(t *Type, operand string) {
+	if t.Kind == TypeChar {
+		g.emit("loadb rax, %s", operand)
+	} else {
+		g.emit("load rax, %s", operand)
+	}
+}
+
+func (g *gen) store(t *Type, operand string) {
+	if t.Kind == TypeChar {
+		g.emit("storeb %s, rax", operand)
+	} else {
+		g.emit("store %s, rax", operand)
+	}
+}
+
+// genAddr leaves the address of the lvalue in rax and returns the type of
+// the object at that address.
+func (g *gen) genAddr(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *Ident:
+		if l, ok := g.lookup(x.Name); ok {
+			if l.off < 0 {
+				g.emit("mov rax, rbp")
+				g.emit("add rax, %d", -l.off)
+			} else {
+				g.emit("mov rax, rbp")
+				g.emit("sub rax, %d", l.off)
+			}
+			return l.t, nil
+		}
+		if gv, ok := g.globals[x.Name]; ok {
+			g.emit("movi rax, g_%s", x.Name)
+			return gv.T, nil
+		}
+		return nil, errf(x.Pos(), "undefined variable %s", x.Name)
+	case *Unary:
+		if x.Op == "*" {
+			t, err := g.genExpr(x.X)
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind != TypePtr {
+				return nil, errf(x.Pos(), "cannot dereference non-pointer %s", t)
+			}
+			return t.Elem, nil
+		}
+	case *Index:
+		bt, err := g.genExpr(x.Base)
+		if err != nil {
+			return nil, err
+		}
+		if bt.Kind != TypePtr {
+			return nil, errf(x.Pos(), "cannot index non-pointer %s", bt)
+		}
+		g.emit("push rax")
+		it, err := g.genExpr(x.Idx)
+		if err != nil {
+			return nil, err
+		}
+		if !it.IsScalar() {
+			return nil, errf(x.Pos(), "index must be scalar")
+		}
+		if sz := bt.Elem.Size(); sz != 1 {
+			g.emit("movi rbx, %d", sz)
+			g.emit("mul rax, rbx")
+		}
+		g.emit("pop rbx")
+		g.emit("add rax, rbx")
+		return bt.Elem, nil
+	}
+	return nil, errf(e.Pos(), "expression is not an lvalue")
+}
+
+// genExpr evaluates e into rax and returns its (decayed) type.
+func (g *gen) genExpr(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		g.emit("movi rax, %d", x.Val)
+		return tyInt, nil
+
+	case *StrLit:
+		g.emit("movi rax, %s", g.strLabel(x.Val))
+		return PtrTo(tyChar), nil
+
+	case *SizeofType:
+		g.emit("movi rax, %d", x.T.Size())
+		return tyInt, nil
+
+	case *Ident:
+		t, err := g.genAddr(x)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TypeArray {
+			return t.Decay(), nil // address is the value
+		}
+		g.emit("mov rbx, rax")
+		g.load(t, "[rbx]")
+		return t, nil
+
+	case *Unary:
+		if v, ok := foldConst(x); ok {
+			g.emit("movi rax, %d", v)
+			return tyInt, nil
+		}
+		switch x.Op {
+		case "-":
+			t, err := g.genExpr(x.X)
+			if err != nil {
+				return nil, err
+			}
+			if !t.IsScalar() {
+				return nil, errf(x.Pos(), "bad operand to unary -")
+			}
+			g.emit("neg rax")
+			return tyInt, nil
+		case "~":
+			if _, err := g.genExpr(x.X); err != nil {
+				return nil, err
+			}
+			g.emit("not rax")
+			return tyInt, nil
+		case "!":
+			if _, err := g.genExpr(x.X); err != nil {
+				return nil, err
+			}
+			tl := g.newLabel("t")
+			g.emit("cmp rax, 0")
+			g.emit("movi rax, 1")
+			g.emit("jz %s", tl)
+			g.emit("movi rax, 0")
+			g.label(tl)
+			return tyInt, nil
+		case "*":
+			t, err := g.genAddr(x)
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind == TypeArray {
+				return t.Decay(), nil
+			}
+			g.emit("mov rbx, rax")
+			g.load(t, "[rbx]")
+			return t, nil
+		case "&":
+			t, err := g.genAddr(x.X)
+			if err != nil {
+				return nil, err
+			}
+			return PtrTo(t), nil
+		}
+		return nil, errf(x.Pos(), "unknown unary operator %s", x.Op)
+
+	case *Binary:
+		if v, ok := foldConst(x); ok {
+			g.emit("movi rax, %d", v)
+			return tyInt, nil
+		}
+		return g.genBinary(x)
+
+	case *Assign:
+		return g.genAssign(x)
+
+	case *Cond:
+		els := g.newLabel("celse")
+		end := g.newLabel("cend")
+		if err := g.genCondJump(x.C, els); err != nil {
+			return nil, err
+		}
+		ta, err := g.genExpr(x.A)
+		if err != nil {
+			return nil, err
+		}
+		g.emit("jmp %s", end)
+		g.label(els)
+		if _, err := g.genExpr(x.B); err != nil {
+			return nil, err
+		}
+		g.label(end)
+		return ta.Decay(), nil
+
+	case *Index:
+		t, err := g.genAddr(x)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TypeArray {
+			return t.Decay(), nil
+		}
+		g.emit("mov rbx, rax")
+		g.load(t, "[rbx]")
+		return t, nil
+
+	case *IncDec:
+		t, err := g.genAddr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsScalar() {
+			return nil, errf(x.Pos(), "%s needs a scalar lvalue", x.Op)
+		}
+		step := 1
+		if t.Kind == TypePtr {
+			step = t.Elem.Size()
+		}
+		g.emit("mov rcx, rax")
+		g.load(t, "[rcx]")
+		if x.Postfix {
+			g.emit("push rax")
+		}
+		if x.Op == "++" {
+			g.emit("add rax, %d", step)
+		} else {
+			g.emit("sub rax, %d", step)
+		}
+		g.store(t, "[rcx]")
+		if x.Postfix {
+			g.emit("pop rax")
+		}
+		return t, nil
+
+	case *Call:
+		return g.genCall(x)
+	}
+	return nil, errf(e.Pos(), "cannot generate code for %T", e)
+}
+
+func (g *gen) genBinary(x *Binary) (*Type, error) {
+	// Short-circuit logical operators.
+	if x.Op == "&&" || x.Op == "||" {
+		end := g.newLabel("sc")
+		if _, err := g.genExpr(x.X); err != nil {
+			return nil, err
+		}
+		g.emit("cmp rax, 0")
+		if x.Op == "&&" {
+			g.emit("movi rax, 0")
+			g.emit("jz %s", end)
+		} else {
+			g.emit("movi rax, 1")
+			g.emit("jnz %s", end)
+		}
+		if _, err := g.genExpr(x.Y); err != nil {
+			return nil, err
+		}
+		// Normalize to 0/1.
+		tl := g.newLabel("scn")
+		g.emit("cmp rax, 0")
+		g.emit("movi rax, 0")
+		g.emit("jz %s", tl)
+		g.emit("movi rax, 1")
+		g.label(tl)
+		g.label(end)
+		return tyInt, nil
+	}
+
+	tx, err := g.genExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	g.emit("push rax")
+	ty, err := g.genExpr(x.Y)
+	if err != nil {
+		return nil, err
+	}
+	g.emit("mov rbx, rax")
+	g.emit("pop rax")
+	// rax = X, rbx = Y.
+
+	// Pointer arithmetic scaling (§7.2 marshalling uses plain ints, but
+	// the libc uses pointer arithmetic heavily).
+	switch x.Op {
+	case "+", "-":
+		if tx.Kind == TypePtr && ty.Kind != TypePtr {
+			if sz := tx.Elem.Size(); sz != 1 {
+				g.emit("movi rcx, %d", sz)
+				g.emit("mul rbx, rcx")
+			}
+		} else if tx.Kind != TypePtr && ty.Kind == TypePtr && x.Op == "+" {
+			if sz := ty.Elem.Size(); sz != 1 {
+				g.emit("movi rcx, %d", sz)
+				g.emit("mul rax, rcx")
+			}
+		}
+	}
+
+	result := tyInt
+	if tx.Kind == TypePtr && ty.Kind != TypePtr {
+		result = tx
+	} else if ty.Kind == TypePtr && tx.Kind != TypePtr {
+		result = ty
+	}
+
+	switch x.Op {
+	case "+":
+		g.emit("add rax, rbx")
+	case "-":
+		g.emit("sub rax, rbx")
+		if tx.Kind == TypePtr && ty.Kind == TypePtr {
+			if sz := tx.Elem.Size(); sz != 1 {
+				g.emit("movi rbx, %d", sz)
+				g.emit("div rax, rbx")
+			}
+			result = tyInt
+		}
+	case "*":
+		g.emit("mul rax, rbx")
+	case "/":
+		g.emit("div rax, rbx")
+	case "%":
+		g.emit("mod rax, rbx")
+	case "&":
+		g.emit("and rax, rbx")
+	case "|":
+		g.emit("or rax, rbx")
+	case "^":
+		g.emit("xor rax, rbx")
+	case "<<":
+		g.emit("shlv rax, rbx")
+	case ">>":
+		g.emit("sarv rax, rbx")
+	case "==", "!=", "<", ">", "<=", ">=":
+		jcc := map[string]string{
+			"==": "jz", "!=": "jnz", "<": "jl", ">": "jg", "<=": "jle", ">=": "jge",
+		}[x.Op]
+		tl := g.newLabel("cmp")
+		g.emit("cmp rax, rbx")
+		g.emit("movi rax, 1")
+		g.emit("%s %s", jcc, tl)
+		g.emit("movi rax, 0")
+		g.label(tl)
+		return tyInt, nil
+	default:
+		return nil, errf(x.Pos(), "unknown operator %s", x.Op)
+	}
+	return result, nil
+}
+
+func (g *gen) genAssign(x *Assign) (*Type, error) {
+	t, err := g.genAddr(x.L)
+	if err != nil {
+		return nil, err
+	}
+	if !t.IsScalar() {
+		return nil, errf(x.Pos(), "cannot assign to non-scalar %s", t)
+	}
+	g.emit("push rax")
+	if x.Op == "=" {
+		if _, err := g.genExpr(x.R); err != nil {
+			return nil, err
+		}
+	} else {
+		// Compound assignment: rewrite a op= b as a = a op b, reusing
+		// the already-computed address via a synthetic load.
+		op := strings.TrimSuffix(x.Op, "=")
+		// load current value
+		g.emit("load rcx, [rsp]") // address we just pushed
+		g.emit("mov rbx, rcx")
+		if t.Kind == TypeChar {
+			g.emit("loadb rax, [rbx]")
+		} else {
+			g.emit("load rax, [rbx]")
+		}
+		g.emit("push rax")
+		rt, err := g.genExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		g.emit("mov rbx, rax")
+		g.emit("pop rax")
+		// pointer-scaled compound add/sub
+		if (op == "+" || op == "-") && t.Kind == TypePtr && rt.Kind != TypePtr {
+			if sz := t.Elem.Size(); sz != 1 {
+				g.emit("movi rcx, %d", sz)
+				g.emit("mul rbx, rcx")
+			}
+		}
+		switch op {
+		case "+":
+			g.emit("add rax, rbx")
+		case "-":
+			g.emit("sub rax, rbx")
+		case "*":
+			g.emit("mul rax, rbx")
+		case "/":
+			g.emit("div rax, rbx")
+		case "%":
+			g.emit("mod rax, rbx")
+		case "&":
+			g.emit("and rax, rbx")
+		case "|":
+			g.emit("or rax, rbx")
+		case "^":
+			g.emit("xor rax, rbx")
+		case "<<":
+			g.emit("shlv rax, rbx")
+		case ">>":
+			g.emit("sarv rax, rbx")
+		default:
+			return nil, errf(x.Pos(), "unknown compound operator %s", x.Op)
+		}
+	}
+	g.emit("pop rbx")
+	g.store(t, "[rbx]")
+	return t, nil
+}
+
+func (g *gen) genCall(x *Call) (*Type, error) {
+	// __hc(nr, a0, a1, a2): the hypercall intrinsic. nr must be a
+	// constant; up to three arguments travel in rdi/rsi/rdx.
+	if x.Name == "__hc" {
+		if len(x.Args) < 1 || len(x.Args) > 4 {
+			return nil, errf(x.Pos(), "__hc wants 1-4 arguments")
+		}
+		nr, ok := x.Args[0].(*IntLit)
+		if !ok {
+			return nil, errf(x.Pos(), "__hc number must be a constant")
+		}
+		rest := x.Args[1:]
+		for _, a := range rest {
+			if _, err := g.genExpr(a); err != nil {
+				return nil, err
+			}
+			g.emit("push rax")
+		}
+		regs := []string{"rdi", "rsi", "rdx"}
+		for i := len(rest) - 1; i >= 0; i-- {
+			g.emit("pop %s", regs[i])
+		}
+		g.emit("out %d, rdi", nr.Val)
+		return tyInt, nil
+	}
+	// __image_end(): address of the end of the packaged image — the
+	// heap start the mini-libc's allocator uses.
+	if x.Name == "__image_end" {
+		if len(x.Args) != 0 {
+			return nil, errf(x.Pos(), "__image_end takes no arguments")
+		}
+		g.emit("movi rax, __image_end")
+		return PtrTo(tyChar), nil
+	}
+
+	fn, ok := g.funcs[x.Name]
+	if !ok {
+		return nil, errf(x.Pos(), "call to undefined function %s", x.Name)
+	}
+	if len(x.Args) != len(fn.Params) {
+		return nil, errf(x.Pos(), "%s wants %d arguments, got %d", x.Name, len(fn.Params), len(x.Args))
+	}
+	// Push right-to-left so arg0 is nearest the frame.
+	for i := len(x.Args) - 1; i >= 0; i-- {
+		t, err := g.genExpr(x.Args[i])
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsScalar() {
+			return nil, errf(x.Pos(), "argument %d to %s is not scalar", i, x.Name)
+		}
+		g.emit("push rax")
+	}
+	g.emit("call fn_%s", x.Name)
+	if n := len(x.Args); n > 0 {
+		g.emit("add rsp, %d", 8*n)
+	}
+	return fn.Ret.Decay(), nil
+}
+
+// Parameters are recorded with negative offsets; genAddr needs to treat
+// them as [rbp + (16+8i)]. The lookup above encodes that in l.off < 0.

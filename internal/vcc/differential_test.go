@@ -1,0 +1,234 @@
+package vcc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/wasp"
+)
+
+// Differential testing: generate random C expressions over the function's
+// parameters, evaluate them with a Go-side reference evaluator, compile
+// them with vcc (optimized and unoptimized), execute in a virtine, and
+// demand all three agree. This shakes the whole pipeline — parser,
+// typechecker, codegen, optimizer, assembler, CPU — against an
+// independent oracle.
+
+type exprGen struct {
+	rng   *rand.Rand
+	depth int
+}
+
+// gen returns (C source, reference evaluator) for a random int expression
+// over variables a and b.
+func (g *exprGen) gen(d int) (string, func(a, b int64) int64) {
+	if d >= g.depth || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			v := int64(g.rng.Intn(201) - 100)
+			return fmt.Sprintf("%d", v), func(_, _ int64) int64 { return v }
+		case 1:
+			return "a", func(a, _ int64) int64 { return a }
+		default:
+			return "b", func(_, b int64) int64 { return b }
+		}
+	}
+	ls, lf := g.gen(d + 1)
+	rs, rf := g.gen(d + 1)
+	type op struct {
+		tok string
+		f   func(x, y int64) int64
+	}
+	ops := []op{
+		{"+", func(x, y int64) int64 { return x + y }},
+		{"-", func(x, y int64) int64 { return x - y }},
+		{"*", func(x, y int64) int64 { return x * y }},
+		{"&", func(x, y int64) int64 { return x & y }},
+		{"|", func(x, y int64) int64 { return x | y }},
+		{"^", func(x, y int64) int64 { return x ^ y }},
+		{"<", func(x, y int64) int64 { return b2i(x < y) }},
+		{">", func(x, y int64) int64 { return b2i(x > y) }},
+		{"==", func(x, y int64) int64 { return b2i(x == y) }},
+		{"!=", func(x, y int64) int64 { return b2i(x != y) }},
+		{"<=", func(x, y int64) int64 { return b2i(x <= y) }},
+		{">=", func(x, y int64) int64 { return b2i(x >= y) }},
+	}
+	// Division/modulo with a guaranteed-nonzero divisor.
+	if g.rng.Intn(6) == 0 {
+		div := int64(g.rng.Intn(9) + 1)
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("((%s) / %d)", ls, div), func(a, b int64) int64 { return lf(a, b) / div }
+		}
+		return fmt.Sprintf("((%s) %% %d)", ls, div), func(a, b int64) int64 { return lf(a, b) % div }
+	}
+	// Shifts with bounded constant counts.
+	if g.rng.Intn(8) == 0 {
+		sh := uint(g.rng.Intn(8))
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("((%s) << %d)", ls, sh), func(a, b int64) int64 { return lf(a, b) << sh }
+		}
+		return fmt.Sprintf("((%s) >> %d)", ls, sh), func(a, b int64) int64 { return lf(a, b) >> sh }
+	}
+	o := ops[g.rng.Intn(len(ops))]
+	src := fmt.Sprintf("((%s) %s (%s))", ls, o.tok, rs)
+	return src, func(a, b int64) int64 { return o.f(lf(a, b), rf(a, b)) }
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func TestDifferentialExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260612))
+	w := wasp.New()
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		g := &exprGen{rng: rng, depth: 4}
+		exprSrc, ref := g.gen(0)
+		src := fmt.Sprintf("virtine int f(int a, int b) { return %s; }", exprSrc)
+
+		for _, optimized := range []bool{true, false} {
+			prog, err := CompileWithOptions(src, Options{Optimize: optimized})
+			if err != nil {
+				t.Fatalf("trial %d (opt=%v): compile %q: %v", trial, optimized, exprSrc, err)
+			}
+			v := prog.Virtines["f"]
+			for _, args := range [][2]int64{{0, 0}, {1, -1}, {17, 5}, {-100, 99}, {1 << 20, 3}} {
+				want := ref(args[0], args[1])
+				res, err := w.Run(v.Image, wasp.RunConfig{
+					Policy:   v.Policy,
+					Args:     MarshalArgs(args[0], args[1]),
+					RetBytes: RetSize,
+				}, cycles.NewClock())
+				if err != nil {
+					t.Fatalf("trial %d (opt=%v): run %q: %v", trial, optimized, exprSrc, err)
+				}
+				got := UnmarshalRet(res.Ret)
+				if got != want {
+					t.Fatalf("trial %d (opt=%v): f(%d,%d) with %q = %d, want %d",
+						trial, optimized, args[0], args[1], exprSrc, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialStatements does the same for small statement programs:
+// loops accumulating the random expression.
+func TestDifferentialStatements(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	w := wasp.New()
+	for trial := 0; trial < 10; trial++ {
+		g := &exprGen{rng: rng, depth: 3}
+		exprSrc, ref := g.gen(0)
+		src := fmt.Sprintf(`
+virtine int f(int a, int b) {
+	int acc = 0;
+	for (int i = 0; i < 8; i++) {
+		acc += %s;
+		a = a + 1;
+		b = b - 1;
+	}
+	return acc;
+}`, exprSrc)
+		refFn := func(a, b int64) int64 {
+			var acc int64
+			for i := 0; i < 8; i++ {
+				acc += ref(a, b)
+				a++
+				b--
+			}
+			return acc
+		}
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		v := prog.Virtines["f"]
+		for _, args := range [][2]int64{{0, 0}, {5, 11}, {-3, 200}} {
+			res, err := w.Run(v.Image, wasp.RunConfig{
+				Policy:   v.Policy,
+				Args:     MarshalArgs(args[0], args[1]),
+				RetBytes: RetSize,
+			}, cycles.NewClock())
+			if err != nil {
+				t.Fatalf("trial %d: run: %v", trial, err)
+			}
+			if got, want := UnmarshalRet(res.Ret), refFn(args[0], args[1]); got != want {
+				t.Fatalf("trial %d: f(%d,%d) = %d, want %d (expr %q)",
+					trial, args[0], args[1], got, want, exprSrc)
+			}
+		}
+	}
+}
+
+// TestDifferentialRandomInputs sweeps random argument values through a
+// fixed set of generated expressions, catching input-dependent codegen
+// bugs (sign handling, flag semantics) the fixed vectors above may miss.
+func TestDifferentialRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	w := wasp.New()
+	for trial := 0; trial < 8; trial++ {
+		g := &exprGen{rng: rng, depth: 3}
+		exprSrc, ref := g.gen(0)
+		src := fmt.Sprintf("virtine int f(int a, int b) { return %s; }", exprSrc)
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", exprSrc, err)
+		}
+		v := prog.Virtines["f"]
+		for k := 0; k < 6; k++ {
+			a := int64(rng.Intn(1<<16) - 1<<15)
+			b := int64(rng.Intn(1<<16) - 1<<15)
+			want := ref(a, b)
+			res, err := w.Run(v.Image, wasp.RunConfig{
+				Policy:   v.Policy,
+				Args:     MarshalArgs(a, b),
+				RetBytes: RetSize,
+				Snapshot: true,
+			}, cycles.NewClock())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := UnmarshalRet(res.Ret); got != want {
+				t.Fatalf("trial %d: f(%d,%d) = %d, want %d (%q)", trial, a, b, got, want, exprSrc)
+			}
+		}
+	}
+}
+
+// TestSnapshotCollisionRegression pins the bug the differential fuzzer
+// found: two different programs defining the same function name must not
+// share a snapshot on one Wasp instance (image names are now
+// content-addressed).
+func TestSnapshotCollisionRegression(t *testing.T) {
+	w := wasp.New()
+	run := func(src string, arg int64) int64 {
+		t.Helper()
+		v, err := CompileFunc(src, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Run(v.Image, wasp.RunConfig{
+			Policy: v.Policy, Args: MarshalArgs(arg), RetBytes: RetSize,
+			Snapshot: true,
+		}, cycles.NewClock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return UnmarshalRet(res.Ret)
+	}
+	if got := run(`virtine int f(int n) { return n + 1; }`, 10); got != 11 {
+		t.Fatalf("first program: %d", got)
+	}
+	// A different program, same function name, same Wasp: must not
+	// resume from the first program's snapshot.
+	if got := run(`virtine int f(int n) { return n * 100; }`, 10); got != 1000 {
+		t.Fatalf("second program executed stale snapshot code: got %d, want 1000", got)
+	}
+}

@@ -1,0 +1,95 @@
+package vcc
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+)
+
+// Typed argument marshalling — the IDL-style interface the paper is
+// "currently developing ... to ease this process (like SGX's EDL)" (§2
+// footnote 2). Virtine functions may take char* parameters; the host
+// marshals Go strings into the argument page and passes guest pointers,
+// with copy-restore RPC semantics (§7.2): the callee works on a private
+// copy inside its own address space.
+//
+// Argument-page layout (at guest.ArgAddr):
+//
+//	slot 0..n-1   8-byte little-endian values: scalars verbatim, string
+//	              arguments as guest pointers into the data area
+//	data          NUL-terminated string bytes, 8-aligned
+//
+// The generated crt0 is oblivious: it loads each 8-byte slot and pushes
+// it; pointer slots simply arrive as char* values.
+
+// MarshalTyped packs int64 and string arguments into an argument blob.
+func MarshalTyped(args ...any) ([]byte, error) {
+	n := len(args)
+	blob := make([]byte, 8*n)
+	put := func(i int, v uint64) {
+		for j := 0; j < 8; j++ {
+			blob[8*i+j] = byte(v >> (8 * j))
+		}
+	}
+	for i, a := range args {
+		switch v := a.(type) {
+		case int64:
+			put(i, uint64(v))
+		case int:
+			put(i, uint64(int64(v)))
+		case string:
+			// Align the data area, append the bytes + NUL, point the
+			// slot at it.
+			for len(blob)%8 != 0 {
+				blob = append(blob, 0)
+			}
+			ptr := uint64(guest.ArgAddr) + uint64(len(blob))
+			blob = append(blob, v...)
+			blob = append(blob, 0)
+			put(i, ptr)
+		case []byte:
+			for len(blob)%8 != 0 {
+				blob = append(blob, 0)
+			}
+			ptr := uint64(guest.ArgAddr) + uint64(len(blob))
+			blob = append(blob, v...)
+			blob = append(blob, 0)
+			put(i, ptr)
+		default:
+			return nil, fmt.Errorf("vcc: unsupported argument type %T (int64, int, string, []byte)", a)
+		}
+	}
+	if len(blob) > guest.ArgMax {
+		return nil, fmt.Errorf("vcc: marshalled arguments (%d bytes) exceed the %d-byte argument page", len(blob), guest.ArgMax)
+	}
+	return blob, nil
+}
+
+// CheckSignature validates typed Go arguments against the virtine's C
+// parameter list: strings/byte slices bind to char*, integers to scalar
+// parameters.
+func (v *Virtine) CheckSignature(args ...any) error {
+	params := v.Fn.Params
+	if len(args) != len(params) {
+		return fmt.Errorf("vcc: %s wants %d arguments, got %d", v.Fn.Name, len(params), len(args))
+	}
+	for i, a := range args {
+		p := params[i]
+		isStr := false
+		switch a.(type) {
+		case string, []byte:
+			isStr = true
+		case int64, int:
+		default:
+			return fmt.Errorf("vcc: argument %d: unsupported type %T", i, a)
+		}
+		wantsPtr := p.T.Kind == TypePtr && p.T.Elem.Kind == TypeChar
+		if isStr && !wantsPtr {
+			return fmt.Errorf("vcc: argument %d (%s %s): got a string for a non-char* parameter", i, p.T, p.Name)
+		}
+		if !isStr && wantsPtr {
+			return fmt.Errorf("vcc: argument %d (%s %s): char* parameter needs a string", i, p.T, p.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package vcc
+
+import (
+	"testing"
+)
+
+// Whole-program tests: realistic C programs through the full pipeline
+// (compile → package → boot → execute in a virtine → unmarshal).
+
+func TestProgramGCD(t *testing.T) {
+	src := `
+int gcd(int a, int b) {
+	while (b != 0) {
+		int t = b;
+		b = a % b;
+		a = t;
+	}
+	return a;
+}
+virtine int run(int a, int b) { return gcd(a, b); }`
+	if got := call(t, src, "run", 1071, 462); got != 21 {
+		t.Fatalf("gcd(1071,462) = %d", got)
+	}
+	if got := call(t, src, "run", 17, 5); got != 1 {
+		t.Fatalf("gcd(17,5) = %d", got)
+	}
+}
+
+func TestProgramBubbleSort(t *testing.T) {
+	src := `
+virtine int sortsum(int seed) {
+	int a[16];
+	/* fill with a scrambled sequence */
+	for (int i = 0; i < 16; i++) {
+		a[i] = (seed * (i + 7)) % 100;
+	}
+	/* bubble sort */
+	for (int i = 0; i < 15; i++) {
+		for (int j = 0; j < 15 - i; j++) {
+			if (a[j] > a[j + 1]) {
+				int t = a[j];
+				a[j] = a[j + 1];
+				a[j + 1] = t;
+			}
+		}
+	}
+	/* verify sorted and checksum */
+	int sum = 0;
+	for (int i = 0; i < 16; i++) {
+		if (i > 0 && a[i] < a[i - 1]) return -1;
+		sum += a[i] * (i + 1);
+	}
+	return sum;
+}`
+	// Compute expected in Go.
+	expect := func(seed int64) int64 {
+		a := make([]int64, 16)
+		for i := range a {
+			a[i] = (seed * int64(i+7)) % 100
+		}
+		for i := 0; i < 15; i++ {
+			for j := 0; j < 15-i; j++ {
+				if a[j] > a[j+1] {
+					a[j], a[j+1] = a[j+1], a[j]
+				}
+			}
+		}
+		var sum int64
+		for i, v := range a {
+			sum += v * int64(i+1)
+		}
+		return sum
+	}
+	for _, seed := range []int64{3, 17, 91} {
+		if got, want := call(t, src, "sortsum", seed), expect(seed); got != want {
+			t.Fatalf("sortsum(%d) = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestProgramPrimeSieve(t *testing.T) {
+	src := `
+virtine int countprimes(int n) {
+	char sieve[256];
+	memset(sieve, 1, 256);
+	sieve[0] = 0;
+	sieve[1] = 0;
+	for (int i = 2; i * i < n; i++) {
+		if (sieve[i]) {
+			for (int j = i * i; j < n; j += i) { sieve[j] = 0; }
+		}
+	}
+	int count = 0;
+	for (int i = 0; i < n; i++) { count += sieve[i]; }
+	return count;
+}`
+	if got := call(t, src, "countprimes", 100); got != 25 {
+		t.Fatalf("primes below 100 = %d, want 25", got)
+	}
+	if got := call(t, src, "countprimes", 256); got != 54 {
+		t.Fatalf("primes below 256 = %d, want 54", got)
+	}
+}
+
+func TestProgramStringReverseWithHeap(t *testing.T) {
+	src := `
+char *reverse(char *s) {
+	int n = strlen(s);
+	char *out = malloc(n + 1);
+	for (int i = 0; i < n; i++) { out[i] = s[n - 1 - i]; }
+	out[n] = 0;
+	return out;
+}
+virtine int palindrome(int unused) {
+	char *a = "step on no pets";
+	char *b = reverse(a);
+	if (strcmp(a, b) != 0) return 0;
+	char *c = reverse("virtine");
+	if (strcmp(c, "enitriv") != 0) return -1;
+	return 1;
+}`
+	if got := call(t, src, "palindrome", 0); got != 1 {
+		t.Fatalf("palindrome = %d", got)
+	}
+}
+
+func TestProgramItoaAtoiRoundTrip(t *testing.T) {
+	src := `
+virtine int roundtrip(int v) {
+	char buf[32];
+	itoa(v, buf);
+	return atoi(buf);
+}`
+	for _, v := range []int64{0, 1, -1, 42, -9999, 123456789} {
+		if got := call(t, src, "roundtrip", v); got != v {
+			t.Fatalf("roundtrip(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestProgramCollatz(t *testing.T) {
+	src := `
+virtine int collatz(int n) {
+	int steps = 0;
+	while (n != 1) {
+		if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+		steps++;
+	}
+	return steps;
+}`
+	if got := call(t, src, "collatz", 27); got != 111 {
+		t.Fatalf("collatz(27) = %d, want 111", got)
+	}
+}
+
+func TestProgramMatrixMultiply(t *testing.T) {
+	src := `
+virtine int matmul(int n) {
+	int a[16];
+	int b[16];
+	int c[16];
+	for (int i = 0; i < 16; i++) { a[i] = i + 1; b[i] = 16 - i; c[i] = 0; }
+	for (int i = 0; i < 4; i++) {
+		for (int j = 0; j < 4; j++) {
+			for (int k = 0; k < 4; k++) {
+				c[i * 4 + j] += a[i * 4 + k] * b[k * 4 + j];
+			}
+		}
+	}
+	int tr = 0;
+	for (int i = 0; i < 4; i++) { tr += c[i * 4 + i]; }
+	return tr;
+}`
+	// Compute trace in Go.
+	var a, bm, c [16]int64
+	for i := 0; i < 16; i++ {
+		a[i], bm[i] = int64(i+1), int64(16-i)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				c[i*4+j] += a[i*4+k] * bm[k*4+j]
+			}
+		}
+	}
+	want := c[0] + c[5] + c[10] + c[15]
+	if got := call(t, src, "matmul", 0); got != want {
+		t.Fatalf("matmul trace = %d, want %d", got, want)
+	}
+}
+
+func TestNestedVirtineAnnotationIgnored(t *testing.T) {
+	// §5.3: "if a virtine calls another virtine-annotated function, a
+	// nested virtine will not be created" — the callee runs inside the
+	// caller's VM, compiled as a plain function.
+	src := `
+virtine int inner(int n) { return n + 1; }
+virtine int outer(int n) { return inner(n) * 2; }`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both exist as independent virtines...
+	if len(prog.Virtines) != 2 {
+		t.Fatalf("virtines = %d", len(prog.Virtines))
+	}
+	// ...and outer's image contains inner as an ordinary function.
+	if got := call(t, src, "outer", 20); got != 42 {
+		t.Fatalf("outer(20) = %d", got)
+	}
+}
+
+func TestDeepRecursionWithinStackBudget(t *testing.T) {
+	src := `
+int depth(int n) {
+	if (n == 0) return 0;
+	return 1 + depth(n - 1);
+}
+virtine int run(int n) { return depth(n); }`
+	// Each frame is small; a few hundred levels fit the 8 KB stack.
+	if got := call(t, src, "run", 200); got != 200 {
+		t.Fatalf("depth(200) = %d", got)
+	}
+}
+
+func TestCharArithmetic(t *testing.T) {
+	src := `
+virtine int caesar(int shift) {
+	char buf[16];
+	strcpy(buf, "attack");
+	for (int i = 0; buf[i]; i++) {
+		buf[i] = 'a' + (buf[i] - 'a' + shift) % 26;
+	}
+	/* checksum the shifted string */
+	int h = 0;
+	for (int i = 0; buf[i]; i++) { h = h * 31 + buf[i]; }
+	return h;
+}`
+	hash := func(s string) int64 {
+		var h int64
+		for _, c := range []byte(s) {
+			h = h*31 + int64(c)
+		}
+		return h
+	}
+	if got := call(t, src, "caesar", 3); got != hash("dwwdfn") {
+		t.Fatalf("caesar(3) = %d, want %d", got, hash("dwwdfn"))
+	}
+}

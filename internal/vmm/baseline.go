@@ -1,0 +1,79 @@
+package vmm
+
+import "repro/internal/cycles"
+
+// Baselines model the execution contexts the paper compares against in
+// Fig 2 and Fig 8 but which a portable Go simulator cannot construct for
+// real (host threads, processes, SGX enclaves). Each baseline advances the
+// caller's clock by the calibrated cost from internal/cycles, optionally
+// jittered by a noise source, so baseline series carry the same variance
+// structure as measured series.
+
+// Baseline identifies one comparison context.
+type Baseline uint8
+
+const (
+	BaselineFunction  Baseline = iota // native call+return of a null function
+	BaselinePthread                   // pthread_create + pthread_join
+	BaselineProcess                   // fork + exec + exit + wait
+	BaselineKVM                       // KVM_CREATE_VM + enter + hlt + exit
+	BaselineVMRun                     // bare KVM_RUN entry/exit
+	BaselineSGXCreate                 // enclave creation (Intel SGX machine)
+	BaselineSGXECall                  // ECALL into an existing enclave
+)
+
+func (b Baseline) String() string {
+	switch b {
+	case BaselineFunction:
+		return "function"
+	case BaselinePthread:
+		return "pthread"
+	case BaselineProcess:
+		return "process"
+	case BaselineKVM:
+		return "KVM"
+	case BaselineVMRun:
+		return "vmrun"
+	case BaselineSGXCreate:
+		return "SGX create"
+	case BaselineSGXECall:
+		return "SGX ecall"
+	}
+	return "baseline?"
+}
+
+// Cost returns the calibrated creation latency in cycles for one instance
+// of the baseline context, the measurement of Fig 2/Fig 8.
+func (b Baseline) Cost() uint64 {
+	switch b {
+	case BaselineFunction:
+		return cycles.FuncCall
+	case BaselinePthread:
+		return cycles.PthreadCreateJoin
+	case BaselineProcess:
+		return cycles.ProcessSpawn
+	case BaselineKVM:
+		// Create a VM, enter it, execute hlt, exit: creation plus one
+		// round trip plus one retired instruction.
+		return cycles.KVMCreateVM + cycles.VMRunEntry + cycles.InstrBase + cycles.VMExit
+	case BaselineVMRun:
+		return cycles.VMRunEntry + cycles.VMExit
+	case BaselineSGXCreate:
+		return cycles.SGXCreate
+	case BaselineSGXECall:
+		return cycles.SGXECall
+	}
+	return 0
+}
+
+// Measure runs trials of the baseline, advancing clk and returning the
+// per-trial latencies, jittered by noise when non-nil.
+func (b Baseline) Measure(clk *cycles.Clock, noise *cycles.Noise, trials int) []uint64 {
+	out := make([]uint64, trials)
+	for i := range out {
+		c := noise.Jitter(b.Cost())
+		clk.Advance(c)
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package vmm
+
+// Dirty-page tracking supports the copy-on-write virtine reset that §7.2
+// anticipates ("We expect this cost to drop when using copy-on-write
+// mechanisms to reset a virtine, as in SEUSS"): instead of memcpy-ing the
+// whole snapshot on every restore, the VMM tracks which guest pages were
+// written since the last restore point and copies only those back.
+//
+// The bitmap is maintained by the vCPU (guest stores) and by Wasp (host
+// writes into guest memory: image loads, argument marshalling, hypercall
+// handler writes). One bit per 4 KiB page.
+
+// initDirty sizes the bitmap for the context's memory.
+func (c *Context) initDirty() {
+	pages := (len(c.Mem) + PageSize - 1) / PageSize
+	c.dirty = make([]uint64, (pages+63)/64)
+}
+
+// MarkDirty records that [addr, addr+n) was written.
+func (c *Context) MarkDirty(addr uint64, n int) {
+	if n <= 0 || c.dirty == nil {
+		return
+	}
+	first := addr / PageSize
+	last := (addr + uint64(n) - 1) / PageSize
+	for p := first; p <= last; p++ {
+		w := p / 64
+		if int(w) < len(c.dirty) {
+			c.dirty[w] |= 1 << (p % 64)
+		}
+	}
+}
+
+// ClearDirty resets the bitmap (a new restore point).
+func (c *Context) ClearDirty() {
+	for i := range c.dirty {
+		c.dirty[i] = 0
+	}
+}
+
+// DirtyPages returns the indices of dirty pages, ascending.
+func (c *Context) DirtyPages() []int {
+	var out []int
+	for w, bits := range c.dirty {
+		if bits == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			if bits&(1<<b) != 0 {
+				out = append(out, w*64+b)
+			}
+		}
+	}
+	return out
+}
+
+// DirtyCount returns the number of dirty pages.
+func (c *Context) DirtyCount() int {
+	n := 0
+	for _, bits := range c.dirty {
+		for ; bits != 0; bits &= bits - 1 {
+			n++
+		}
+	}
+	return n
+}

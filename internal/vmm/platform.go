@@ -1,0 +1,55 @@
+package vmm
+
+import "repro/internal/cycles"
+
+// Platform abstracts the hosted-hypervisor interface Wasp drives (Fig 5):
+// on Linux the KVM API via ioctl(KVM_RUN); on Windows the Hyper-V
+// platform API via WHvRunVirtualProcessor. The paper reports "Hyper-V
+// performance was similar for our experiments"; the two backends differ
+// only in their per-operation costs here, and everything above the VMM —
+// Wasp, policies, snapshots, the toolchain — is backend-agnostic, exactly
+// as Fig 5 draws it.
+type Platform interface {
+	Name() string
+	// CreateCost is VM + vCPU + memory-slot construction.
+	CreateCost() uint64
+	// EntryCost is one run call down to guest entry.
+	EntryCost() uint64
+	// ExitCost is one guest exit back to the VMM.
+	ExitCost() uint64
+}
+
+// KVM is the Linux backend: /dev/kvm, KVM_CREATE_VM, ioctl(KVM_RUN).
+type KVM struct{}
+
+// Name implements Platform.
+func (KVM) Name() string { return "kvm" }
+
+// CreateCost implements Platform.
+func (KVM) CreateCost() uint64 { return cycles.KVMCreateVM }
+
+// EntryCost implements Platform.
+func (KVM) EntryCost() uint64 { return cycles.VMRunEntry }
+
+// ExitCost implements Platform.
+func (KVM) ExitCost() uint64 { return cycles.VMExit }
+
+// HyperV is the Windows backend: WHvCreatePartition,
+// WHvRunVirtualProcessor. Same order of magnitude as KVM with slightly
+// heavier transitions (the WHP API crosses an extra abstraction layer).
+type HyperV struct{}
+
+// Name implements Platform.
+func (HyperV) Name() string { return "hyper-v" }
+
+// CreateCost implements Platform.
+func (HyperV) CreateCost() uint64 { return cycles.HVCreatePartition }
+
+// EntryCost implements Platform.
+func (HyperV) EntryCost() uint64 { return cycles.HVRunEntry }
+
+// ExitCost implements Platform.
+func (HyperV) ExitCost() uint64 { return cycles.HVExit }
+
+// DefaultPlatform is the backend Create uses.
+var DefaultPlatform Platform = KVM{}

@@ -1,0 +1,64 @@
+package vmm
+
+import (
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/isa"
+)
+
+func TestPlatformNames(t *testing.T) {
+	if (KVM{}).Name() != "kvm" || (HyperV{}).Name() != "hyper-v" {
+		t.Fatal("platform names wrong")
+	}
+}
+
+func TestHyperVSimilarButHeavier(t *testing.T) {
+	// The paper: "Hyper-V performance was similar for our experiments".
+	// The backends must be the same order of magnitude, with WHP's extra
+	// layer slightly heavier per transition.
+	k, h := KVM{}, HyperV{}
+	if h.EntryCost() <= k.EntryCost() || h.ExitCost() <= k.ExitCost() || h.CreateCost() <= k.CreateCost() {
+		t.Fatal("Hyper-V should be slightly heavier than KVM")
+	}
+	if h.EntryCost() > 2*k.EntryCost() || h.CreateCost() > 2*k.CreateCost() {
+		t.Fatal("Hyper-V should be similar to KVM, not multiples")
+	}
+}
+
+func TestCreateOnChargesPlatformCosts(t *testing.T) {
+	for _, p := range []Platform{KVM{}, HyperV{}} {
+		clk := cycles.NewClock()
+		ctx := CreateOn(p, 64<<10, clk)
+		if ctx.Platform().Name() != p.Name() {
+			t.Fatalf("platform not recorded for %s", p.Name())
+		}
+		want := p.CreateCost() + uint64((64<<10)/PageSize)*cycles.EPTBuildPerPage
+		if clk.Now() != want {
+			t.Fatalf("%s creation cost %d, want %d", p.Name(), clk.Now(), want)
+		}
+	}
+}
+
+func TestRunUsesPlatformTransitionCosts(t *testing.T) {
+	cost := func(p Platform) uint64 {
+		clk := cycles.NewClock()
+		ctx := CreateOn(p, 64<<10, clk)
+		if err := ctx.Load(haltCode, 0x8000, 0x8000, isa.Mode16); err != nil {
+			t.Fatal(err)
+		}
+		before := clk.Now()
+		if ex := ctx.Run(10); ex.Reason.String() == "" {
+			t.Fatal("bad exit")
+		}
+		return clk.Now() - before
+	}
+	kvm := cost(KVM{})
+	hv := cost(HyperV{})
+	if hv <= kvm {
+		t.Fatalf("Hyper-V round trip (%d) should exceed KVM (%d)", hv, kvm)
+	}
+	if kvm != cycles.VMRunEntry+cycles.InstrBase+cycles.VMExit {
+		t.Fatalf("KVM round trip = %d", kvm)
+	}
+}

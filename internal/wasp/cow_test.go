@@ -1,0 +1,171 @@
+package wasp
+
+import (
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/guest"
+)
+
+// cowImage mutates memory after its snapshot so a COW reset has real work
+// to undo: it increments a counter at 0x6000 post-snapshot and reports it.
+const cowCounterAsm = `
+	out 0x08, rdi        ; snapshot()
+	movi rbx, 0x6000
+	load rax, [rbx]
+	inc rax
+	store [rbx], rax
+	movi rbx, 0x4000
+	store [rbx], rax     ; ret = counter after increment
+	movi rdi, 0
+	out 0x00, rdi
+	hlt
+`
+
+func cowImg(name string) *guest.Image {
+	return guest.MustFromAsm(name, guest.WrapLongMode(cowCounterAsm))
+}
+
+func TestCOWResetIsolation(t *testing.T) {
+	// With COW on, each run must still observe pristine snapshot state:
+	// the post-snapshot counter increment may never leak into the next
+	// run, even though the context is reused without zeroing.
+	w := New(WithCOW(true))
+	img := cowImg("cow-iso")
+	cfg := RunConfig{Snapshot: true, RetBytes: 8}
+	for i := 0; i < 5; i++ {
+		res, err := w.Run(img, cfg, cycles.NewClock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fromLE64(res.Ret); got != 1 {
+			t.Fatalf("run %d: counter = %d; COW reset leaked state", i, got)
+		}
+	}
+}
+
+func TestCOWCopiesOnlyDirtyPages(t *testing.T) {
+	w := New(WithCOW(true))
+	img := cowImg("cow-pages")
+	cfg := RunConfig{Snapshot: true, RetBytes: 8}
+	// Run 1: cold boot + capture. Run 2: full restore? No — with COW the
+	// context was parked after run 1 with a resident snapshot, so run 2
+	// already resets incrementally.
+	if _, err := w.Run(img, cfg, cycles.NewClock()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(img, cfg, cycles.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SnapshotUsed {
+		t.Fatal("snapshot not used")
+	}
+	if res.COWPages == 0 {
+		t.Fatal("expected an incremental COW reset")
+	}
+	// The guest touches a handful of pages (counter, ret region, stack,
+	// args); far fewer than the ~12 pages of the captured footprint.
+	if res.COWPages > 8 {
+		t.Fatalf("COW copied %d pages; dirty tracking too coarse", res.COWPages)
+	}
+}
+
+func TestCOWCheaperThanFullRestoreForLargeImages(t *testing.T) {
+	// The §7.2 claim: COW collapses the Fig 12 image-size cost, because
+	// reset cost tracks dirtied pages, not image size.
+	pad := 1 << 20 // 1 MB image
+	run := func(cow bool) uint64 {
+		w := New(WithCOW(cow), WithAsyncClean(true))
+		img := cowImg("cow-large").WithPad(pad)
+		cfg := RunConfig{Snapshot: true, RetBytes: 8}
+		if _, err := w.Run(img, cfg, cycles.NewClock()); err != nil {
+			t.Fatal(err)
+		}
+		// Second warm-up so the non-COW path also has a hot pool.
+		if _, err := w.Run(img, cfg, cycles.NewClock()); err != nil {
+			t.Fatal(err)
+		}
+		clk := cycles.NewClock()
+		if _, err := w.Run(img, cfg, clk); err != nil {
+			t.Fatal(err)
+		}
+		return clk.Now()
+	}
+	full := run(false)
+	cow := run(true)
+	if cow*5 > full {
+		t.Fatalf("COW reset (%d) should be >5x cheaper than full restore (%d) for a 1MB image", cow, full)
+	}
+}
+
+func TestCOWShellNotSharedAcrossImages(t *testing.T) {
+	// Two different images must never exchange contexts through the COW
+	// binding (disjoint-state isolation).
+	w := New(WithCOW(true))
+	a := cowImg("cow-a")
+	b := cowImg("cow-b")
+	cfg := RunConfig{Snapshot: true, RetBytes: 8}
+	for i := 0; i < 3; i++ {
+		ra, err := w.Run(a, cfg, cycles.NewClock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := w.Run(b, cfg, cycles.NewClock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fromLE64(ra.Ret) != 1 || fromLE64(rb.Ret) != 1 {
+			t.Fatalf("iteration %d: cross-image state leak", i)
+		}
+	}
+}
+
+func TestCOWDisabledByDefault(t *testing.T) {
+	w := New()
+	img := cowImg("cow-off")
+	cfg := RunConfig{Snapshot: true, RetBytes: 8}
+	if _, err := w.Run(img, cfg, cycles.NewClock()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(img, cfg, cycles.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.COWPages != 0 {
+		t.Fatal("COW reset happened without WithCOW")
+	}
+}
+
+func TestCOWWithArguments(t *testing.T) {
+	// Arguments are host-written after the reset; COW must mark the
+	// argument page dirty so the *next* reset restores it.
+	w := New(WithCOW(true))
+	img := guest.MustFromAsm("cow-args", guest.WrapLongMode(`
+	out 0x08, rdi
+	movi rbx, 0x0
+	load rax, [rbx]
+	add rax, rax
+	movi rbx, 0x4000
+	store [rbx], rax
+	movi rdi, 0
+	out 0x00, rdi
+	hlt
+`))
+	call := func(n int64) int64 {
+		res, err := w.Run(img, RunConfig{Snapshot: true, RetBytes: 8, Args: le64(uint64(n))}, cycles.NewClock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(fromLE64(res.Ret))
+	}
+	if got := call(21); got != 42 {
+		t.Fatalf("first: %d", got)
+	}
+	if got := call(100); got != 200 {
+		t.Fatalf("second (COW path): %d — stale argument page?", got)
+	}
+	if got := call(3); got != 6 {
+		t.Fatalf("third: %d", got)
+	}
+}

@@ -1,0 +1,75 @@
+package wasp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/cpu"
+)
+
+// Virtine migration (§7.3): "Because virtines implement an abstract
+// machine model, are packaged with their runtime environment, and employ
+// similar semantics to RPC, they allow for location transparency.
+// Virtines could therefore be migrated to execute on remote machines just
+// like containers."
+//
+// A snapshot is exactly the state that needs to move: the captured guest
+// memory and the architectural register file. ExportSnapshot serializes
+// it; ImportSnapshot installs it into another Wasp instance (another
+// "machine"), where subsequent runs of the same image resume from the
+// migrated state. Native-workload snapshots carry host-side Go state and
+// are not portable.
+
+// snapshotWire is the serialized form.
+type snapshotWire struct {
+	Mem      []byte
+	Captured int
+	State    cpu.State
+	Booted   bool
+}
+
+// ExportSnapshot serializes the named image's snapshot for migration.
+func (w *Wasp) ExportSnapshot(name string) ([]byte, error) {
+	snap := w.getSnapshot(name)
+	if snap == nil {
+		return nil, fmt.Errorf("wasp: no snapshot for image %q", name)
+	}
+	if snap.native != nil {
+		return nil, fmt.Errorf("wasp: snapshot for %q carries native host state and is not portable", name)
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(snapshotWire{
+		Mem:      snap.mem,
+		Captured: snap.captured,
+		State:    snap.state,
+		Booted:   snap.booted,
+	}); err != nil {
+		return nil, fmt.Errorf("wasp: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ImportSnapshot installs a serialized snapshot under the given image
+// name. The receiving side must run the same image (same name, same
+// memory geometry); the next Run with Snapshot enabled resumes from the
+// migrated state.
+func (w *Wasp) ImportSnapshot(name string, data []byte) error {
+	var wire snapshotWire
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&wire); err != nil {
+		return fmt.Errorf("wasp: decoding snapshot: %w", err)
+	}
+	if wire.Captured <= 0 || wire.Captured > len(wire.Mem) {
+		return fmt.Errorf("wasp: snapshot for %q is malformed (captured=%d, mem=%d)",
+			name, wire.Captured, len(wire.Mem))
+	}
+	w.putSnapshot(name, &snapshot{
+		mem:      wire.Mem,
+		captured: wire.Captured,
+		state:    wire.State,
+		booted:   wire.Booted,
+	})
+	return nil
+}

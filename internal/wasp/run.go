@@ -1,0 +1,331 @@
+package wasp
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/cycles"
+	"repro/internal/guest"
+	"repro/internal/hypercall"
+	"repro/internal/isa"
+	"repro/internal/vmm"
+)
+
+// RunConfig parameterizes one virtine execution.
+type RunConfig struct {
+	// Policy gates hypercalls; nil means deny-all (§5.1). Exit, mark and
+	// snapshot are hypervisor mechanisms and bypass policy.
+	Policy hypercall.Policy
+	// Env is the host environment the canned handlers act on; nil
+	// provisions a fresh empty environment.
+	Env *hypercall.Env
+	// Handler overrides the canned handlers; nil uses Env.Handle — the
+	// client-implemented hypercall handler hook of §5.1.
+	Handler hypercall.Handler
+	// Args is marshalled into guest memory at guest.ArgAddr before
+	// entry (§6.1).
+	Args []byte
+	// RetBytes is how many bytes of the return-value region to copy out
+	// after exit.
+	RetBytes int
+	// Snapshot enables the snapshot fast path for this image.
+	Snapshot bool
+	// MaxSteps bounds guest execution (runaway protection).
+	MaxSteps uint64
+}
+
+// Result reports one virtine execution.
+type Result struct {
+	// Cycles is the end-to-end virtual-cycle cost of the invocation,
+	// including provisioning, image/snapshot copy, execution and exits.
+	Cycles uint64
+	// ExitCode is the guest's exit status.
+	ExitCode uint64
+	// Ret is the raw return-value region (RetBytes long).
+	Ret []byte
+	// DataOut is the §6.5 return_data payload, if any.
+	DataOut []byte
+	// NetOut is what the guest sent on the virtual socket.
+	NetOut []byte
+	// Stdout is captured std-stream output.
+	Stdout []byte
+	// Marks are guest milestone timestamps (Fig 4).
+	Marks []hypercall.Mark
+	// Entries and IOExits count guest entries and hypercall exits.
+	Entries uint64
+	IOExits uint64
+	// BootEvents are the CPU's Table 1 milestone timestamps (absolute
+	// clock values; subtract GuestEntry for in-guest offsets).
+	BootEvents [cpu.NumEvents]uint64
+	// GuestEntry is the clock value at the first guest entry.
+	GuestEntry uint64
+	// SnapshotUsed reports whether this run restored from a snapshot.
+	SnapshotUsed bool
+	// COWPages is the number of pages a copy-on-write reset copied
+	// back (0 when the full snapshot was copied).
+	COWPages int
+}
+
+const defaultMaxSteps = 200_000_000
+
+// Run executes one virtine: provision a context, populate it (image boot
+// or snapshot restore), marshal arguments, enter the guest, interpose on
+// every hypercall, and tear down. All costs land on clk.
+func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result, error) {
+	if cfg.Policy == nil {
+		cfg.Policy = hypercall.DenyAll{}
+	}
+	if cfg.Env == nil {
+		cfg.Env = hypercall.NewEnv()
+	}
+	if cfg.Handler == nil {
+		cfg.Handler = cfg.Env
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = defaultMaxSteps
+	}
+	cfg.Env.NowCycles = clk.Now
+	cfg.Env.Charge = clk.Advance
+
+	start := clk.Now()
+	memBytes := img.MemBytes()
+
+	// COW resets apply to interpreted guests with snapshotting on.
+	cowEligible := w.cow && cfg.Snapshot && w.snapEnable && img.Native == nil
+	var ctx *vmm.Context
+	resident := false
+	if cowEligible {
+		if c := w.takeCOWShell(img.Name); c != nil {
+			ctx = c
+			resident = true
+			clk.Advance(cycles.PoolAcquire)
+			ctx.Clock = clk
+			ctx.CPU.Clock = clk
+		}
+	}
+	if ctx == nil {
+		ctx = w.acquire(memBytes, clk)
+	}
+	parked := false
+	defer func() {
+		if !parked {
+			w.release(ctx)
+		}
+	}()
+
+	ctx.FirstEntry = 0
+	res := &Result{}
+	var snap *snapshot
+	if cfg.Snapshot && w.snapEnable {
+		snap = w.getSnapshot(img.Name)
+	}
+	if snap == nil {
+		resident = false // nothing to reset against
+	}
+
+	if snap != nil {
+		if resident {
+			// COW reset (§7.2): the context already holds the snapshot
+			// image; copy back only the pages dirtied since the
+			// snapshot point.
+			pages := ctx.DirtyPages()
+			for _, p := range pages {
+				lo := p * vmm.PageSize
+				hi := lo + vmm.PageSize
+				if hi > len(snap.mem) {
+					hi = len(snap.mem)
+				}
+				if lo < len(snap.mem) {
+					copy(ctx.Mem[lo:hi], snap.mem[lo:hi])
+				}
+			}
+			clk.Advance(cycles.MemcpyCost(len(pages) * vmm.PageSize))
+			clk.Advance(uint64(len(pages)) * cycles.COWResetPerPage)
+			ctx.ClearDirty()
+			res.COWPages = len(pages)
+		} else {
+			// Fast path (Fig 7): restore the snapshot — one memcpy of
+			// the captured footprint — and resume at the snapshot point.
+			copy(ctx.Mem, snap.mem)
+			clk.Advance(cycles.MemcpyCost(snap.captured))
+			ctx.ClearDirty()
+		}
+		ctx.CPU.Restore(snap.state)
+		clk.Advance(cycles.GuestLoadSetup)
+		res.SnapshotUsed = true
+	} else {
+		if err := ctx.Load(img.Code, img.Origin, img.Entry, img.Mode); err != nil {
+			return nil, err
+		}
+		// Padding is part of the image payload (Fig 12): it is copied
+		// with the image even though it is all zeros.
+		clk.Advance(cycles.MemcpyCost(img.Pad))
+		clk.Advance(cycles.GuestLoadSetup)
+	}
+
+	// Marshal arguments at guest.ArgAddr (§6.1).
+	if len(cfg.Args) > 0 {
+		if len(cfg.Args) > guest.ArgMax {
+			return nil, fmt.Errorf("wasp: argument blob %d exceeds %d", len(cfg.Args), guest.ArgMax)
+		}
+		copy(ctx.Mem[guest.ArgAddr:], cfg.Args)
+		ctx.MarkDirty(guest.ArgAddr, len(cfg.Args))
+		clk.Advance(cycles.MemcpyCost(len(cfg.Args)))
+	}
+
+	gm := guestMem{mem: ctx.Mem, clk: clk, mark: ctx.MarkDirty}
+
+	// Native images restored from a post-boot snapshot skip the CPU
+	// entirely; otherwise run the guest (boot stub or full program).
+	restoredNative := snap != nil && snap.booted && img.Native != nil
+	if !restoredNative {
+		if err := w.runGuest(ctx, img, &cfg, gm, res, clk); err != nil {
+			return nil, err
+		}
+	}
+
+	if img.Native != nil && !cfg.Env.Exited {
+		nctx := &NativeCtx{
+			wasp: w, img: img, ctx: ctx, cfg: &cfg, clk: clk,
+			env: cfg.Env, gm: gm, res: res,
+		}
+		if snap != nil {
+			nctx.restored = snap.native
+		}
+		clk.Advance(cycles.VMRunEntry)
+		if ctx.FirstEntry == 0 {
+			ctx.FirstEntry = clk.Now()
+		}
+		ctx.Entries++
+		if err := img.Native(nctx); err != nil {
+			return nil, fmt.Errorf("wasp: native workload: %w", err)
+		}
+		clk.Advance(cycles.VMExit)
+	}
+
+	if cfg.RetBytes > 0 {
+		if cfg.RetBytes > guest.RetMax {
+			return nil, fmt.Errorf("wasp: return size %d exceeds %d", cfg.RetBytes, guest.RetMax)
+		}
+		res.Ret = append([]byte(nil), ctx.Mem[guest.RetAddr:guest.RetAddr+uint64(cfg.RetBytes)]...)
+	}
+	res.ExitCode = cfg.Env.ExitCode
+	res.DataOut = cfg.Env.DataOut
+	res.NetOut = append([]byte(nil), cfg.Env.NetOut.Bytes()...)
+	res.Stdout = append([]byte(nil), cfg.Env.Stdout.Bytes()...)
+	// Milestones are measured "inside the virtual context" (Fig 4):
+	// rebase them on the first guest entry of this run.
+	res.Marks = append([]hypercall.Mark(nil), cfg.Env.Marks...)
+	for i := range res.Marks {
+		if res.Marks[i].Cycle >= ctx.FirstEntry {
+			res.Marks[i].Cycle -= ctx.FirstEntry
+		}
+	}
+	res.Entries = ctx.Entries
+	res.IOExits = ctx.ExitsIO
+	res.BootEvents = ctx.CPU.Events
+	res.GuestEntry = ctx.FirstEntry
+	res.Cycles = clk.Now() - start
+	if cowEligible && w.HasSnapshot(img.Name) {
+		parked = true
+		w.parkCOWShell(img.Name, ctx)
+	}
+	return res, nil
+}
+
+// runGuest drives the vCPU until halt or guest exit(), interposing on
+// every hypercall.
+func (w *Wasp) runGuest(ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm guestMem, res *Result, clk *cycles.Clock) error {
+	for {
+		ex := ctx.Run(cfg.MaxSteps)
+		switch ex.Reason {
+		case cpu.ExitHalt:
+			return nil
+		case cpu.ExitFault:
+			return fmt.Errorf("wasp: virtine %s faulted: %w", img.Name, ex.Err)
+		case cpu.ExitIO:
+			done, err := w.serviceHypercall(ctx, img, cfg, gm, res, ex, clk)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+		default:
+			return fmt.Errorf("wasp: virtine %s: unexpected exit %v", img.Name, ex.Reason)
+		}
+	}
+}
+
+// serviceHypercall is the interposition layer (§5.1): decode the call
+// from the vCPU registers, consult the client policy, dispatch to the
+// handler, write the result into RAX, and resume.
+func (w *Wasp) serviceHypercall(ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm guestMem, res *Result, ex *cpu.Exit, clk *cycles.Clock) (done bool, err error) {
+	clk.Advance(cycles.HypercallDispatch)
+	regs := &ctx.CPU.Regs
+	call := hypercall.Args{
+		Nr: ex.Port,
+		A0: regs[isa.RDI], A1: regs[isa.RSI], A2: regs[isa.RDX],
+		A3: regs[isa.R10], A4: regs[isa.R8], A5: regs[isa.R9],
+	}
+
+	// Mechanism calls bypass policy: exit is always available (§5.1),
+	// mark is hypervisor instrumentation, and snapshot is the §5.2
+	// mechanism the language extensions rely on by default.
+	mechanism := call.Nr == hypercall.NrExit || call.Nr == hypercall.NrMark || call.Nr == hypercall.NrSnapshot
+	if !mechanism && !cfg.Policy.Allow(call.Nr) {
+		return false, fmt.Errorf("wasp: virtine %s: %s: %w", img.Name, hypercall.Name(call.Nr), hypercall.ErrDenied)
+	}
+
+	if call.Nr == hypercall.NrSnapshot && cfg.Snapshot && w.snapEnable {
+		// Capture the reset state: guest memory up to the image
+		// footprint plus the stack, and the architectural state. The
+		// copy is charged — the paper's Fig 11 snapshot bars include
+		// the initial capture overhead.
+		w.capture(ctx, img, nil, false, clk)
+	}
+
+	ret, herr := cfg.Handler.Handle(call, gm)
+	if herr != nil {
+		return false, fmt.Errorf("wasp: virtine %s: %s failed: %w", img.Name, hypercall.Name(call.Nr), herr)
+	}
+	if ex.In {
+		regs[ex.Reg] = ret
+	} else {
+		regs[isa.RAX] = ret
+	}
+	if cfg.Env.Exited {
+		return true, nil
+	}
+	return false, nil
+}
+
+// capture stores a snapshot of the context for img. The memory captured
+// is the image footprint plus the stack region — what the paper's
+// memcpy-based reset copies (§6.2); cost scales with image size.
+func (w *Wasp) capture(ctx *vmm.Context, img *guest.Image, native any, booted bool, clk *cycles.Clock) {
+	foot := img.Footprint() + img.ExtraHeap
+	if foot > len(ctx.Mem) {
+		foot = len(ctx.Mem)
+	}
+	// Capture [0, foot) and the stack at the top in one buffer sized
+	// like the full guest so restore is a straight copy; cost charged is
+	// proportional to bytes actually captured.
+	mem := make([]byte, len(ctx.Mem))
+	copy(mem[:foot], ctx.Mem[:foot])
+	stackStart := len(ctx.Mem) - guest.StackReserve
+	if stackStart < foot {
+		stackStart = foot
+	}
+	copy(mem[stackStart:], ctx.Mem[stackStart:])
+	captured := foot + (len(ctx.Mem) - stackStart)
+	clk.Advance(cycles.MemcpyCost(captured))
+	ctx.ClearDirty()
+	w.putSnapshot(img.Name, &snapshot{
+		mem:      mem,
+		captured: captured,
+		state:    ctx.CPU.Save(),
+		native:   native,
+		booted:   booted,
+	})
+}

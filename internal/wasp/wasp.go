@@ -1,0 +1,238 @@
+// Package wasp implements the Wasp embeddable micro-hypervisor runtime
+// (§5): a userspace library that virtine clients link against to run
+// individual functions in isolated virtual contexts.
+//
+// Wasp provides the mechanisms — context provisioning, image loading,
+// snapshotting, hypercall interposition — while the virtine client
+// supplies policy: which hypercalls are permitted and how they are
+// serviced. The default is deny-all (§5.1).
+//
+// Two optimizations from §5.2 are implemented for real:
+//
+//   - Pooling/caching: returned contexts are cleaned (zeroed, preventing
+//     information leakage) and cached as "shells"; acquiring a cached
+//     shell costs pool bookkeeping instead of KVM_CREATE_VM. Cleaning is
+//     charged on the critical path (Wasp+C) or performed by a background
+//     cleaner off the measured path (Wasp+CA).
+//   - Snapshotting: a virtine may capture its state after initialization;
+//     subsequent executions of the same image restore the snapshot (one
+//     memcpy) and resume at the snapshot point, skipping boot and runtime
+//     init (Fig 7).
+package wasp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/cycles"
+	"repro/internal/vmm"
+)
+
+// Wasp is the hypervisor runtime. It is safe for concurrent use; each
+// Run advances its own caller-supplied clock, so concurrent runs model
+// independent cores.
+type Wasp struct {
+	mu        sync.Mutex
+	pools     map[int][]*shell
+	snapshots map[string]*snapshot
+	cowShells map[string]*vmm.Context
+
+	pooling    bool
+	asyncClean bool
+	snapEnable bool
+	cow        bool
+	platform   vmm.Platform
+}
+
+type shell struct {
+	ctx   *vmm.Context
+	dirty bool
+}
+
+type snapshot struct {
+	mem      []byte // guest-memory capture at the snapshot point
+	captured int    // bytes actually captured (restore cost basis)
+	state    cpu.State
+	native   any // opaque workload state for native images (§6.5 engine reuse)
+	booted   bool
+}
+
+// Option configures a Wasp instance.
+type Option func(*Wasp)
+
+// WithPooling enables or disables the cached shell pool (§5.2). Enabled
+// in the default configuration.
+func WithPooling(on bool) Option { return func(w *Wasp) { w.pooling = on } }
+
+// WithAsyncClean moves shell cleaning off the critical path, as a
+// background thread would (the Wasp+CA configuration of Fig 8).
+func WithAsyncClean(on bool) Option { return func(w *Wasp) { w.asyncClean = on } }
+
+// WithSnapshotting enables the snapshot/restore fast path (§5.2). Images
+// still opt in per run via RunConfig.Snapshot.
+func WithSnapshotting(on bool) Option { return func(w *Wasp) { w.snapEnable = on } }
+
+// WithPlatform selects the hypervisor backend (Fig 5): vmm.KVM{} on
+// Linux, vmm.HyperV{} on Windows. Default is KVM.
+func WithPlatform(p vmm.Platform) Option { return func(w *Wasp) { w.platform = p } }
+
+// WithCOW enables copy-on-write snapshot resets (§7.2's anticipated
+// optimization, as in SEUSS): a context stays bound to its image between
+// runs, and each restore copies back only the pages dirtied since the
+// snapshot point instead of the whole image. Applies to interpreted
+// guests; native workloads fall back to full restores.
+func WithCOW(on bool) Option { return func(w *Wasp) { w.cow = on } }
+
+// New returns a Wasp runtime with pooling and snapshotting enabled and
+// synchronous cleaning — the paper's default configuration.
+func New(opts ...Option) *Wasp {
+	w := &Wasp{
+		pools:      make(map[int][]*shell),
+		snapshots:  make(map[string]*snapshot),
+		cowShells:  make(map[string]*vmm.Context),
+		pooling:    true,
+		snapEnable: true,
+		platform:   vmm.KVM{},
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// acquire provisions a virtual context of the given memory size: a cached
+// shell when the pool has one (Fig 6 path D), a cold KVM context
+// otherwise (path C). Cleaning of a dirty shell is charged here, on the
+// critical path, unless async cleaning is on (in which case pooled shells
+// are always already clean).
+func (w *Wasp) acquire(memBytes int, clk *cycles.Clock) *vmm.Context {
+	if w.pooling {
+		w.mu.Lock()
+		pool := w.pools[memBytes]
+		if n := len(pool); n > 0 {
+			s := pool[n-1]
+			w.pools[memBytes] = pool[:n-1]
+			w.mu.Unlock()
+			clk.Advance(cycles.PoolAcquire)
+			s.ctx.Clock = clk
+			s.ctx.CPU.Clock = clk
+			if s.dirty {
+				s.ctx.Clean()
+				s.dirty = false
+			}
+			return s.ctx
+		}
+		w.mu.Unlock()
+	}
+	return vmm.CreateOn(w.platform, memBytes, clk)
+}
+
+// release returns a context to the pool. With async cleaning the zeroing
+// happens silently (off the measured path); otherwise the shell is parked
+// dirty and pays for cleaning when next acquired.
+func (w *Wasp) release(ctx *vmm.Context) {
+	if !w.pooling {
+		return // dropped; host kernel reclaims it
+	}
+	s := &shell{ctx: ctx, dirty: true}
+	if w.asyncClean {
+		ctx.CleanSilent()
+		s.dirty = false
+	}
+	w.mu.Lock()
+	w.pools[len(ctx.Mem)] = append(w.pools[len(ctx.Mem)], s)
+	w.mu.Unlock()
+}
+
+// takeCOWShell claims the image-bound context, if one is parked.
+func (w *Wasp) takeCOWShell(name string) *vmm.Context {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ctx := w.cowShells[name]
+	if ctx != nil {
+		delete(w.cowShells, name)
+	}
+	return ctx
+}
+
+// parkCOWShell binds a context to its image for the next COW reset. If a
+// shell is already parked for the image, the context is recycled through
+// the ordinary pool instead.
+func (w *Wasp) parkCOWShell(name string, ctx *vmm.Context) {
+	w.mu.Lock()
+	_, dup := w.cowShells[name]
+	if !dup {
+		w.cowShells[name] = ctx
+	}
+	w.mu.Unlock()
+	if dup {
+		w.release(ctx)
+	}
+}
+
+// PoolSize reports the number of cached shells for a memory size.
+func (w *Wasp) PoolSize(memBytes int) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pools[memBytes])
+}
+
+// HasSnapshot reports whether an image has a stored snapshot.
+func (w *Wasp) HasSnapshot(name string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.snapshots[name]
+	return ok
+}
+
+// DropSnapshot removes a stored snapshot (tests and ablations).
+func (w *Wasp) DropSnapshot(name string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.snapshots, name)
+}
+
+func (w *Wasp) getSnapshot(name string) *snapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.snapshots[name]
+}
+
+func (w *Wasp) putSnapshot(name string, s *snapshot) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.snapshots[name] = s
+}
+
+// guestMem is the bounds-checked GuestMem window handlers receive. Bulk
+// copies are charged to the run's clock at memcpy bandwidth: handler data
+// movement is critical-path host work (§6.3's doubly-expensive exits are
+// the entry/exit cost; this is the payload cost).
+type guestMem struct {
+	mem  []byte
+	clk  *cycles.Clock
+	mark func(addr uint64, n int) // dirty-page tracking hook (may be nil)
+}
+
+func (g guestMem) ReadGuest(addr uint64, n int) ([]byte, error) {
+	if n < 0 || addr+uint64(n) > uint64(len(g.mem)) || addr > uint64(len(g.mem)) {
+		return nil, fmt.Errorf("wasp: guest read [%#x,+%d) out of bounds", addr, n)
+	}
+	g.clk.Advance(cycles.MemcpyCost(n))
+	out := make([]byte, n)
+	copy(out, g.mem[addr:])
+	return out, nil
+}
+
+func (g guestMem) WriteGuest(addr uint64, b []byte) error {
+	if addr+uint64(len(b)) > uint64(len(g.mem)) || addr > uint64(len(g.mem)) {
+		return fmt.Errorf("wasp: guest write [%#x,+%d) out of bounds", addr, len(b))
+	}
+	g.clk.Advance(cycles.MemcpyCost(len(b)))
+	copy(g.mem[addr:], b)
+	if g.mark != nil {
+		g.mark(addr, len(b))
+	}
+	return nil
+}
