@@ -21,6 +21,7 @@ import (
 	"repro/internal/httpd"
 	"repro/internal/hypercall"
 	"repro/internal/js"
+	"repro/internal/sched"
 	"repro/internal/serverless"
 	"repro/internal/vcc"
 	"repro/internal/vmm"
@@ -596,4 +597,47 @@ l:
 		}
 	}
 	b.ReportMetric(float64(ctx.CPU.Retired), "instructions")
+}
+
+// BenchmarkSchedulerSaturation drives concurrent Run calls through the
+// unified scheduler at increasing worker counts. The pooled, snapshotted
+// runtime state is shared by all workers, so this is the contention
+// benchmark for the sharded shell pools: wall-clock ns/op must not
+// degrade as workers are added (a single runtime-wide mutex would make
+// it collapse), and vmakespan/op — the virtual-time cost of the
+// schedule — shrinks with the pool width.
+func BenchmarkSchedulerSaturation(b *testing.B) {
+	body := `
+	movi rcx, 2000
+sl:
+	dec rcx
+	jnz sl
+	movi rdi, 0
+	out 0x00, rdi
+	hlt
+`
+	for _, workers := range []int{1, 2, 4, 8} {
+		img := guest.MustFromAsm(benchName("satfib", int64(workers)), guest.WrapLongMode(body))
+		b.Run(benchName("workers", int64(workers)), func(b *testing.B) {
+			w := wasp.New()
+			s := sched.New(w, workers)
+			defer s.Close()
+			// Warm the shell pool directly so steady state is measured
+			// without polluting the scheduler's worker clocks or counts.
+			if _, err := w.Run(img, wasp.RunConfig{}, cycles.NewClock()); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			tickets := make([]*sched.Ticket, b.N)
+			for i := range tickets {
+				tickets[i] = s.Submit(img, wasp.RunConfig{})
+			}
+			if err := sched.WaitAll(tickets...); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(cycles.Micros(s.Makespan())/float64(b.N), "vmakespan-us/op")
+			b.ReportMetric(float64(s.Completed()), "completed")
+		})
+	}
 }

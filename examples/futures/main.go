@@ -1,0 +1,58 @@
+// Command futures demonstrates asynchronous virtines (§2): "virtines
+// could, given support in the hypervisor, behave like asynchronous
+// functions or futures." Invocations are submitted to the client's
+// scheduler (internal/sched) — a bounded worker pool in which every
+// worker owns a virtual clock — and collected with Wait, overlapping
+// the caller's own work with virtine execution.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	client := core.NewClient()
+	defer client.Close()
+
+	fns, err := client.CompileC(`
+virtine int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}`)
+	if err != nil {
+		panic(err)
+	}
+	fib := fns["fib"]
+
+	// Fire a batch of asynchronous invocations; each runs in its own
+	// isolated virtual context on a scheduler worker.
+	futures := make([]*core.Future, 10)
+	for i := range futures {
+		futures[i] = fib.Go(int64(i + 10))
+	}
+	fmt.Println("10 virtines in flight; caller keeps working...")
+
+	for i, fu := range futures {
+		v, res, err := fu.Wait()
+		if err != nil {
+			panic(err)
+		}
+		t := fu.Ticket()
+		fmt.Printf("fib(%2d) = %6d   worker %d   backlog %2d at submit   service %8d cy   %s\n",
+			i+10, v, t.Worker, t.DepthAtSubmit, t.ServiceCycles(),
+			map[bool]string{true: "snapshot restore", false: "cold boot"}[res.SnapshotUsed])
+	}
+
+	// GoAll: scatter a tuple batch, gather in order.
+	sq, err := fns["fib"].GoAll([]int64{8}, []int64{12}, []int64{16})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("GoAll fib(8,12,16) = %v\n", sq)
+
+	s := client.Scheduler()
+	fmt.Printf("scheduler: %d workers, %d submitted, %d completed, peak queue depth %d\n",
+		s.NumWorkers(), s.Submitted(), s.Completed(), s.PeakQueueDepth())
+}

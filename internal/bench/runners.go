@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"repro/internal/aes"
 	"repro/internal/cpu"
@@ -10,6 +12,7 @@ import (
 	"repro/internal/httpd"
 	"repro/internal/hypercall"
 	"repro/internal/js"
+	"repro/internal/sched"
 	"repro/internal/serverless"
 	"repro/internal/stats"
 	"repro/internal/vcc"
@@ -589,5 +592,50 @@ func Fig64Speed(trials int) (*Table, error) {
 		t.AddRow(di(p.BlockBytes), f1(p.NativeBps/1e6), f1(p.VirtineBps/1e6), f2(p.Slowdown))
 	}
 	t.Note("paper: ≈17x slowdown at 16KB blocks; snapshot copy of the ~21KB image is the dominant cost")
+	return t, nil
+}
+
+// SchedSaturation is the scheduler-throughput scenario: the same virtine
+// workload dispatched through the unified scheduler (internal/sched) at
+// increasing worker-pool widths. With the runtime's sharded shell pools,
+// host throughput should scale with workers — a single runtime-wide
+// mutex would flatline it. Reported per width: host wall time, host
+// requests/sec, speedup over one worker, and the virtual-time makespan
+// (which halves as the pool doubles).
+func SchedSaturation(trials int) (*Table, error) {
+	trials = clampTrials(trials, 64, 4000)
+	img := guest.MustFromAsm("sched-fib", guest.WrapLongMode(fibAsm(16)))
+
+	t := &Table{
+		ID:     "sched",
+		Title:  "Scheduler saturation: concurrent Run throughput vs worker count",
+		Header: []string{"workers", "requests", "wall-ms", "req/s", "speedup", "vmakespan-ms"},
+	}
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		w := wasp.New()
+		s := sched.New(w, workers)
+		start := time.Now()
+		tickets := make([]*sched.Ticket, trials)
+		for i := range tickets {
+			tickets[i] = s.Submit(img, wasp.RunConfig{})
+		}
+		if err := sched.WaitAll(tickets...); err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.Close()
+		wall := time.Since(start)
+		rps := float64(trials) / wall.Seconds()
+		if workers == 1 {
+			base = rps
+		}
+		t.AddRow(di(workers), di(trials),
+			f2(float64(wall.Microseconds())/1e3),
+			f1(rps), f2(rps/base),
+			f2(cycles.Millis(s.Makespan())))
+	}
+	t.Note("sharded shell pools: Run calls on different workers contend only on per-shard push/pop")
+	t.Note("host parallelism: %d CPUs (wall-clock speedup is bounded by it; vmakespan shows the schedule)", runtime.NumCPU())
 	return t, nil
 }

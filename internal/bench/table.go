@@ -104,6 +104,7 @@ var Registry = []struct {
 	{"fig13", "Fig 13: HTTP server latency and throughput", Fig13},
 	{"fig14", "Fig 14: JavaScript virtine slowdowns", Fig14},
 	{"fig15", "Fig 15: serverless virtines vs OpenWhisk", Fig15},
+	{"sched", "Scheduler saturation: Run throughput vs workers", SchedSaturation},
 }
 
 // Lookup finds a runner by experiment ID.

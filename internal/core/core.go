@@ -24,23 +24,33 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/cycles"
 	"repro/internal/guest"
 	"repro/internal/hypercall"
+	"repro/internal/sched"
 	"repro/internal/vcc"
 	"repro/internal/wasp"
 )
 
 // Client embeds the Wasp runtime the way a host program links against
-// libwasp. A single Client's pool and snapshot cache are shared by all of
-// its Funcs.
+// libwasp. A single Client's pool, snapshot cache, and scheduler are
+// shared by all of its Funcs.
 type Client struct {
 	W *wasp.Wasp
 
-	mu    sync.Mutex
+	mu    sync.Mutex // guards the shared clock across synchronous Calls
 	clock *cycles.Clock
+
+	// schedMu guards lazy scheduler creation separately from mu: mu is
+	// held across whole synchronous runs, and an async submission must
+	// not block behind one.
+	schedMu sync.Mutex
+	sched   *sched.Scheduler
+	serials []*sched.Scheduler
+	closed  bool
 }
 
 // NewClient returns a Client with the default Wasp configuration
@@ -52,6 +62,52 @@ func NewClient(opts ...wasp.Option) *Client {
 // Clock returns the client's default virtual clock (used when Call is
 // invoked without an explicit clock).
 func (c *Client) Clock() *cycles.Clock { return c.clock }
+
+// Scheduler returns the client's dispatch substrate, creating it on
+// first use: a bounded worker pool as wide as the host's parallelism,
+// shared by every Func's asynchronous invocations.
+func (c *Client) Scheduler() *sched.Scheduler {
+	c.schedMu.Lock()
+	defer c.schedMu.Unlock()
+	if c.sched == nil {
+		c.sched = sched.New(c.W, runtime.GOMAXPROCS(0))
+		if c.closed {
+			c.sched.Close() // Close already happened: hand out a closed scheduler
+		}
+	}
+	return c.sched
+}
+
+// newSerial builds a width-1 scheduler — a serial execution lane for a
+// Func whose invocations must not interleave (pinned Env) — and tracks
+// it for Close.
+func (c *Client) newSerial() *sched.Scheduler {
+	s := sched.New(c.W, 1)
+	c.schedMu.Lock()
+	if c.closed {
+		s.Close()
+	}
+	c.serials = append(c.serials, s)
+	c.schedMu.Unlock()
+	return s
+}
+
+// Close drains and stops the client's schedulers. The client remains
+// usable for synchronous Calls; asynchronous submissions — outstanding
+// or later — fail with sched.ErrClosed. The closed schedulers stay in
+// place so every Func observes the same closed state.
+func (c *Client) Close() {
+	c.schedMu.Lock()
+	c.closed = true
+	all := append([]*sched.Scheduler(nil), c.serials...)
+	if c.sched != nil {
+		all = append(all, c.sched)
+	}
+	c.schedMu.Unlock()
+	for _, s := range all {
+		s.Close()
+	}
+}
 
 // CompileC compiles virtine-extended C source (§5.3) and returns one Func
 // per virtine-annotated function.
@@ -101,6 +157,25 @@ type Func struct {
 	// Env optionally pins a host environment across calls (for
 	// filesystem-backed virtines). When nil each call gets a fresh one.
 	Env *hypercall.Env
+
+	// envMu serializes runs that share the pinned Env: a hypercall
+	// environment carries per-run socket and stream state, so two
+	// in-flight invocations must not interleave on it. Funcs without a
+	// pinned Env dispatch fully in parallel.
+	envMu sync.Mutex
+
+	// serial is the Func's width-1 scheduler lane, created on the first
+	// asynchronous invocation with a pinned Env. Queuing those on a
+	// dedicated lane (instead of the shared pool) keeps tickets that
+	// must serialize anyway from occupying shared workers head-of-line.
+	serialOnce sync.Once
+	serial     *sched.Scheduler
+}
+
+// serialSched returns the Func's serial lane, creating it on first use.
+func (f *Func) serialSched() *sched.Scheduler {
+	f.serialOnce.Do(func() { f.serial = f.client.newSerial() })
+	return f.serial
 }
 
 // Call invokes the virtine synchronously with int64 arguments — from the
@@ -140,6 +215,8 @@ func (f *Func) CallTyped(clk *cycles.Clock, args ...any) (int64, *wasp.Result, e
 func (f *Func) callBlob(clk *cycles.Clock, blob []byte) (int64, *wasp.Result, error) {
 	env := f.Env
 	if env != nil {
+		f.envMu.Lock()
+		defer f.envMu.Unlock()
 		env.ResetRun()
 	}
 	f.client.mu.Lock()

@@ -1,48 +1,84 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/cycles"
+	"repro/internal/sched"
+	"repro/internal/vcc"
 	"repro/internal/wasp"
 )
 
 // Asynchronous virtines (§2): "virtines could, given support in the
 // hypervisor, behave like asynchronous functions or futures" — the Gotee
-// comparison in the paper's footnote. Func.Go launches the invocation in
-// the background and returns a Future; the caller overlaps its own work
-// with the virtine and collects the result with Wait.
+// comparison in the paper's footnote. Func.Go submits the invocation to
+// the client's scheduler (internal/sched) and returns a Future; the
+// caller overlaps its own work with the virtine and collects the result
+// with Wait.
 //
-// Each future advances its own virtual clock: concurrent virtines model
-// independent cores, exactly like the paper's multi-tenant scenarios.
+// Dispatch goes through the shared bounded worker pool rather than a
+// raw goroutine per call: each scheduler worker owns a virtual clock,
+// so concurrent virtines model independent cores — exactly the paper's
+// multi-tenant scenarios — while the pool bounds host-side parallelism.
 
 // Future is an in-flight asynchronous virtine invocation.
 type Future struct {
-	ch chan futureResult
+	t   *sched.Ticket
+	err error // pre-submission failure (bad arity)
 }
 
-type futureResult struct {
-	val    int64
-	res    *wasp.Result
-	cycles uint64
-	err    error
-}
-
-// Go launches the virtine asynchronously. The returned Future must be
-// Waited exactly once.
+// Go launches the virtine asynchronously on the client's scheduler. The
+// returned Future may be Waited any number of times.
 func (f *Func) Go(args ...int64) *Future {
-	fu := &Future{ch: make(chan futureResult, 1)}
-	go func() {
-		clk := cycles.NewClock()
-		val, res, err := f.CallOn(clk, args...)
-		fu.ch <- futureResult{val: val, res: res, cycles: clk.Now(), err: err}
-	}()
-	return fu
+	if f.NArgs != 0 && len(args) != f.NArgs {
+		return &Future{err: fmt.Errorf("core: %s wants %d args, got %d", f.Name, f.NArgs, len(args))}
+	}
+	return f.goBlob(vcc.MarshalArgs(args...))
+}
+
+// goBlob submits one invocation with a pre-marshalled argument blob.
+// Funcs with a pinned Env go to a per-Func serial lane: the environment
+// carries per-run socket and stream state, so those invocations must
+// not interleave — queuing them on the shared pool would only park
+// shared workers head-of-line against the env lock.
+func (f *Func) goBlob(blob []byte) *Future {
+	cfg := wasp.RunConfig{
+		Policy:   f.Policy,
+		Env:      f.Env,
+		Args:     blob,
+		RetBytes: vcc.RetSize,
+		Snapshot: f.Snapshot,
+	}
+	if f.Env == nil {
+		return &Future{t: f.client.Scheduler().Submit(f.Image, cfg)}
+	}
+	t := f.serialSched().SubmitFn(func(clk *cycles.Clock) (*wasp.Result, error) {
+		// The env lock coordinates with synchronous Calls sharing the
+		// same pinned Env; asynchronous tickets are already serialized
+		// by the width-1 lane.
+		f.envMu.Lock()
+		defer f.envMu.Unlock()
+		f.Env.ResetRun()
+		return f.client.W.Run(f.Image, cfg, clk)
+	})
+	return &Future{t: t}
 }
 
 // Wait blocks until the virtine completes and returns its result.
 func (fu *Future) Wait() (int64, *wasp.Result, error) {
-	r := <-fu.ch
-	return r.val, r.res, r.err
+	if fu.err != nil {
+		return 0, nil, fu.err
+	}
+	res, err := fu.t.Wait()
+	if err != nil {
+		return 0, nil, err
+	}
+	return vcc.UnmarshalRet(res.Ret), res, nil
 }
+
+// Ticket exposes the underlying scheduler ticket (queueing and service
+// timing); nil if submission failed before dispatch.
+func (fu *Future) Ticket() *sched.Ticket { return fu.t }
 
 // GoAll launches one asynchronous invocation per argument tuple and
 // waits for all of them, returning results in order. The first error

@@ -82,6 +82,37 @@ virtine int bump(int n) {
 	}
 }
 
+func TestGoAfterCloseFailsConsistently(t *testing.T) {
+	client := NewClient()
+	fns, err := client.CompileC(fibSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib := fns["fib"]
+	if _, _, err := fib.Go(10).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	// Async submission after Close must fail — including on a scheduler
+	// lazily created after the Close.
+	if _, _, err := fib.Go(10).Wait(); err == nil {
+		t.Fatal("Go after Close succeeded")
+	}
+	client2 := NewClient()
+	fns2, err := client2.CompileC(fibSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client2.Close()
+	if _, _, err := fns2["fib"].Go(10).Wait(); err == nil {
+		t.Fatal("Go on never-started scheduler after Close succeeded")
+	}
+	// Synchronous Calls keep working on a closed client.
+	if v, err := fib.Call(10); err != nil || v != 55 {
+		t.Fatalf("Call after Close = %d, %v", v, err)
+	}
+}
+
 func TestGoAllPropagatesError(t *testing.T) {
 	client := NewClient()
 	fns, err := client.CompileC(`

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cycles"
 	"repro/internal/guest"
 	"repro/internal/hypercall"
+	"repro/internal/sched"
 	"repro/internal/vcc"
 	"repro/internal/wasp"
 )
@@ -118,6 +119,7 @@ virtine_config(0xFC) int handle(int unused) {
 type FileServer struct {
 	W      *wasp.Wasp
 	Env    *hypercall.Env
+	fs     *hypercall.FS // static file set, forked per request
 	image  *guest.Image
 	policy hypercall.Policy
 
@@ -133,16 +135,29 @@ func NewFileServer(w *wasp.Wasp, files map[string][]byte) (*FileServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := hypercall.NewEnv()
+	fs := hypercall.NewFS()
 	for path, data := range files {
-		env.FS.Put(path, data)
+		fs.Put(path, data)
 	}
-	return &FileServer{
+	s := &FileServer{
 		W:      w,
-		Env:    env,
+		fs:     fs,
 		image:  v.Image,
 		policy: v.Policy,
-	}, nil
+	}
+	s.Env = s.newEnv()
+	return s, nil
+}
+
+// newEnv builds a request-private host environment over the server's
+// file set. Concurrent requests must not share an Env — it carries the
+// per-run socket and stream state — but they do share the static file
+// contents: each env gets an O(1) fork of the server filesystem rather
+// than a rebuilt copy.
+func (s *FileServer) newEnv() *hypercall.Env {
+	env := hypercall.NewEnv()
+	env.FS = s.fs.Fork()
+	return env
 }
 
 // Response is one served HTTP exchange.
@@ -170,6 +185,54 @@ func (s *FileServer) Serve(req []byte, clk *cycles.Clock) (*Response, error) {
 		return nil, err
 	}
 	return parseResponse(res.NetOut, res.Cycles, res.IOExits)
+}
+
+// Submit dispatches one request through a scheduler — the concurrent
+// request path. Each request runs in a fresh virtine against a
+// request-private environment, so tickets on different workers proceed
+// fully in parallel. The returned ticket's result carries the raw
+// exchange; parse it with ParseTicket.
+func (s *FileServer) Submit(sc *sched.Scheduler, req []byte) *sched.Ticket {
+	env := s.newEnv()
+	env.NetIn = append([]byte(nil), req...)
+	return sc.Submit(s.image, wasp.RunConfig{
+		Policy:   s.policy,
+		Env:      env,
+		Args:     vcc.MarshalArgs(0),
+		RetBytes: vcc.RetSize,
+		Snapshot: s.Snapshot,
+	})
+}
+
+// ParseTicket waits for a submitted request and parses its response.
+func ParseTicket(t *sched.Ticket) (*Response, error) {
+	res, err := t.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return parseResponse(res.NetOut, res.Cycles, res.IOExits)
+}
+
+// ServeMany serves a batch of requests through a bounded worker pool of
+// the given width, returning responses in request order. This is the
+// server's multi-core request path: worker-parallel virtines sharing
+// the runtime's shell pool and snapshot cache.
+func (s *FileServer) ServeMany(reqs [][]byte, workers int) ([]*Response, error) {
+	sc := sched.New(s.W, workers)
+	defer sc.Close()
+	tickets := make([]*sched.Ticket, len(reqs))
+	for i, req := range reqs {
+		tickets[i] = s.Submit(sc, req)
+	}
+	out := make([]*Response, len(tickets))
+	for i, t := range tickets {
+		resp, err := ParseTicket(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
 }
 
 // NativeFileServer is the baseline: the same handler logic running as a

@@ -216,6 +216,44 @@ func TestFig13Shape(t *testing.T) {
 	}
 }
 
+func TestServeManyConcurrent(t *testing.T) {
+	w := wasp.New()
+	s, err := NewFileServer(w, testFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Snapshot = true
+	// Deploy step: warm the snapshot so concurrent requests restore it.
+	if _, err := s.Serve(Request("/index.html"), cycles.NewClock()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	reqs := make([][]byte, n)
+	for i := range reqs {
+		if i%3 == 2 {
+			reqs[i] = Request("/missing")
+		} else {
+			reqs[i] = Request("/index.html")
+		}
+	}
+	resps, err := s.ServeMany(reqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range resps {
+		want := 200
+		if i%3 == 2 {
+			want = 404
+		}
+		if resp.Status != want {
+			t.Fatalf("request %d: status %d, want %d", i, resp.Status, want)
+		}
+		if want == 200 && string(resp.Body) != "<html>hello virtines</html>" {
+			t.Fatalf("request %d: body %q", i, resp.Body)
+		}
+	}
+}
+
 func TestRequestParseRejectsGarbage(t *testing.T) {
 	n := NewNativeFileServer(testFiles())
 	if _, err := n.Serve([]byte("garbage"), cycles.NewClock()); err == nil {

@@ -30,6 +30,19 @@ func NewFS() *FS {
 	}
 }
 
+// Fork returns a filesystem sharing this one's file contents with a
+// fresh descriptor table: request-private open-file state over a common
+// static file set, at O(1) cost. The file map itself is shared, so
+// forks are for read-mostly serving paths — a Put on any fork is
+// visible to all of them and must not race in-flight reads.
+func (fs *FS) Fork() *FS {
+	return &FS{
+		files: fs.files,
+		fds:   make(map[int]*openFile),
+		next:  fs.next,
+	}
+}
+
 // Put installs (or replaces) a file.
 func (fs *FS) Put(path string, data []byte) {
 	fs.files[path] = append([]byte(nil), data...)

@@ -1,0 +1,369 @@
+// Package sched is the unified virtine scheduler: the one dispatch
+// substrate every concurrent client of the Wasp runtime goes through.
+//
+// The paper anticipates virtines behaving "like asynchronous functions
+// or futures" (§2), and the Wasp runtime (§5) is built to serve many
+// concurrent invocations. Before this layer existed, every client
+// reinvented dispatch — core.Future spawned raw goroutines, the
+// serverless platform hand-rolled an earliest-free-worker array, httpd
+// served strictly sequentially. sched centralizes that: a bounded
+// worker pool in which each worker owns a virtual clock (modelling one
+// core's TSC, exactly like the paper's per-core rdtsc methodology),
+// a ticket/future API, queue-depth accounting, and a completion hook.
+//
+// Two execution modes share the same API and semantics:
+//
+//   - Real mode (New): N worker goroutines drain a bounded queue.
+//     Virtines on different workers execute concurrently on the host —
+//     this is the mode the throughput benchmarks exercise, and it is
+//     what makes the sharded shell pools in internal/wasp matter.
+//   - Virtual mode (NewVirtual): deterministic event-driven dispatch in
+//     the submitting goroutine. Tickets are assigned to the
+//     earliest-free worker in virtual time; queueing delay comes from
+//     the worker clocks, i.e. from real queue state. The serverless
+//     Fig 15 simulation uses this mode so results stay reproducible.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cycles"
+	"repro/internal/guest"
+	"repro/internal/wasp"
+)
+
+// Task is one unit of schedulable work. It runs on a worker, advancing
+// that worker's virtual clock by the work's full service cost.
+type Task func(clk *cycles.Clock) (*wasp.Result, error)
+
+// ErrClosed is the error carried by tickets submitted to a scheduler
+// that has been closed.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// Ticket is the future for one scheduled invocation. Wait blocks until
+// the work completes; the timing fields (Arrival, Start, Done, Worker,
+// DepthAtSubmit) are valid once Wait has returned.
+type Ticket struct {
+	run  Task
+	done chan struct{}
+	// hasArrival records whether the caller declared a virtual arrival
+	// time (SubmitAt/SubmitFnAt). Undeclared tickets take their worker's
+	// clock at dequeue as Arrival, so they report zero queueing delay —
+	// per-worker clocks are independent timelines, and a wait measured
+	// against an arrival the caller never declared would be fiction.
+	hasArrival bool
+
+	// Arrival is the virtual time the request entered the system: the
+	// caller-declared arrival, or the assigned worker's clock at dequeue
+	// when none was declared.
+	Arrival uint64
+	// Start and Done are the virtual times service began and finished
+	// on the assigned worker; Start-Arrival is the queueing delay.
+	Start, Done uint64
+	// Worker is the index of the worker that served the ticket.
+	Worker int
+	// DepthAtSubmit is the queue depth observed when the ticket was
+	// submitted (real mode: tickets waiting in the queue; virtual mode:
+	// workers still busy at the arrival time).
+	DepthAtSubmit int
+
+	res *wasp.Result
+	err error
+}
+
+// Wait blocks until the ticket's work has completed and returns its
+// result. Wait may be called any number of times, from any goroutine.
+func (t *Ticket) Wait() (*wasp.Result, error) {
+	<-t.done
+	return t.res, t.err
+}
+
+// QueueCycles reports how long the ticket waited between its declared
+// virtual arrival and the start of service. Tickets submitted without
+// an arrival time (Submit/SubmitFn) report 0 — use SubmitAt/SubmitFnAt
+// for virtual-time queue accounting, or DepthAtSubmit for instantaneous
+// backlog. Valid after Wait.
+func (t *Ticket) QueueCycles() uint64 { return t.Start - t.Arrival }
+
+// ServiceCycles reports the service time on the worker (virtual
+// cycles). Valid after Wait.
+func (t *Ticket) ServiceCycles() uint64 { return t.Done - t.Start }
+
+// WaitAll waits for every ticket and returns the first error, if any.
+// All tickets run to completion regardless — a virtine is destroyed
+// with its VM, never interrupted.
+func WaitAll(tickets ...*Ticket) error {
+	var firstErr error
+	for _, t := range tickets {
+		if _, err := t.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// worker is one execution lane with its own virtual clock — the model
+// of one physical core serving virtines back to back.
+type worker struct {
+	id   int
+	clk  *cycles.Clock
+	runs uint64
+}
+
+// Scheduler is a bounded worker-pool executor over a Wasp runtime.
+type Scheduler struct {
+	w       *wasp.Wasp
+	virtual bool
+
+	queue chan *Ticket // real mode only
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex   // virtual-mode dispatch
+	closeMu sync.RWMutex // guards closed; submits hold the read side
+	closed  bool
+	workers []*worker
+
+	depth      atomic.Int64
+	peakDepth  atomic.Int64
+	submitted  atomic.Uint64
+	completed  atomic.Uint64
+	onComplete func(*Ticket)
+}
+
+// Option configures a Scheduler.
+type Option func(*Scheduler)
+
+// WithQueueCap bounds the real-mode submission queue (default
+// 4×workers). Submit blocks when the queue is full — backpressure
+// instead of unbounded growth.
+func WithQueueCap(n int) Option {
+	return func(s *Scheduler) {
+		if n > 0 {
+			s.queue = make(chan *Ticket, n)
+		}
+	}
+}
+
+// WithOnComplete installs a completion hook, invoked once per ticket
+// after its timing fields are final and before Wait unblocks. In real
+// mode the hook runs on worker goroutines and must be safe for
+// concurrent use; in virtual mode it runs in the submitting goroutine.
+func WithOnComplete(fn func(*Ticket)) Option {
+	return func(s *Scheduler) { s.onComplete = fn }
+}
+
+// New builds a real-mode scheduler: n worker goroutines, each with its
+// own virtual clock, draining a bounded queue.
+func New(w *wasp.Wasp, n int, opts ...Option) *Scheduler {
+	s := newScheduler(w, n, false, opts...)
+	if s.queue == nil {
+		s.queue = make(chan *Ticket, 4*n)
+	}
+	for _, wk := range s.workers {
+		s.wg.Add(1)
+		go s.workerLoop(wk)
+	}
+	return s
+}
+
+// NewVirtual builds a virtual-mode scheduler: deterministic
+// earliest-free-worker dispatch over per-worker virtual clocks, run
+// synchronously in the submitting goroutine.
+func NewVirtual(w *wasp.Wasp, n int, opts ...Option) *Scheduler {
+	return newScheduler(w, n, true, opts...)
+}
+
+func newScheduler(w *wasp.Wasp, n int, virtual bool, opts ...Option) *Scheduler {
+	if n < 1 {
+		n = 1
+	}
+	s := &Scheduler{w: w, virtual: virtual}
+	s.workers = make([]*worker, n)
+	for i := range s.workers {
+		s.workers[i] = &worker{id: i, clk: cycles.NewClock()}
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// NumWorkers reports the worker-pool width.
+func (s *Scheduler) NumWorkers() int { return len(s.workers) }
+
+// Wasp exposes the underlying runtime.
+func (s *Scheduler) Wasp() *wasp.Wasp { return s.w }
+
+// Submit schedules one virtine execution — the asynchronous analogue of
+// wasp.Run. The returned Ticket is the future for its result.
+func (s *Scheduler) Submit(img *guest.Image, cfg wasp.RunConfig) *Ticket {
+	return s.submit(0, false, s.runTask(img, cfg))
+}
+
+// SubmitAt schedules a virtine execution arriving at the given virtual
+// time. The assigned worker's clock first advances to the arrival time,
+// so queueing delay is measured against it.
+func (s *Scheduler) SubmitAt(arrival uint64, img *guest.Image, cfg wasp.RunConfig) *Ticket {
+	return s.submit(arrival, true, s.runTask(img, cfg))
+}
+
+func (s *Scheduler) runTask(img *guest.Image, cfg wasp.RunConfig) Task {
+	return func(clk *cycles.Clock) (*wasp.Result, error) {
+		return s.w.Run(img, cfg, clk)
+	}
+}
+
+// SubmitFn schedules an arbitrary task on the worker pool.
+func (s *Scheduler) SubmitFn(fn Task) *Ticket { return s.submit(0, false, fn) }
+
+// SubmitFnAt schedules an arbitrary task arriving at the given virtual
+// time.
+func (s *Scheduler) SubmitFnAt(arrival uint64, fn Task) *Ticket {
+	return s.submit(arrival, true, fn)
+}
+
+func (s *Scheduler) submit(arrival uint64, hasArrival bool, fn Task) *Ticket {
+	t := &Ticket{run: fn, Arrival: arrival, hasArrival: hasArrival, done: make(chan struct{})}
+	// The read lock lets submits proceed concurrently while excluding
+	// Close: the queue cannot be closed under an in-flight send, and a
+	// submit after Close gets an ErrClosed ticket instead of a panic.
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		t.err = ErrClosed
+		close(t.done)
+		return t
+	}
+	s.submitted.Add(1)
+	if s.virtual {
+		s.dispatchVirtual(t)
+		return t
+	}
+	d := s.depth.Add(1)
+	for {
+		p := s.peakDepth.Load()
+		if d <= p || s.peakDepth.CompareAndSwap(p, d) {
+			break
+		}
+	}
+	t.DepthAtSubmit = int(d - 1) // tickets already waiting ahead of this one
+	s.queue <- t
+	return t
+}
+
+func (s *Scheduler) workerLoop(wk *worker) {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.depth.Add(-1)
+		s.exec(wk, t)
+	}
+}
+
+// exec runs one ticket on a worker, stamping its virtual-time bounds.
+func (s *Scheduler) exec(wk *worker, t *Ticket) {
+	wk.clk.AdvanceTo(t.Arrival)
+	t.Start = wk.clk.Now()
+	if !t.hasArrival {
+		t.Arrival = t.Start
+	}
+	t.Worker = wk.id
+	t.res, t.err = t.run(wk.clk)
+	t.Done = wk.clk.Now()
+	wk.runs++
+	s.completed.Add(1)
+	if s.onComplete != nil {
+		s.onComplete(t)
+	}
+	close(t.done)
+}
+
+// dispatchVirtual assigns the ticket to the earliest-free worker in
+// virtual time and services it synchronously — the event-driven mode.
+// Ties break toward the lowest worker index, keeping runs deterministic.
+func (s *Scheduler) dispatchVirtual(t *Ticket) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := s.workers[0]
+	busy := 0
+	for _, wk := range s.workers {
+		if wk.clk.Now() > t.Arrival {
+			busy++
+		}
+		if wk.clk.Now() < best.clk.Now() {
+			best = wk
+		}
+	}
+	t.DepthAtSubmit = busy
+	if d := int64(busy); d > s.peakDepth.Load() {
+		s.peakDepth.Store(d)
+	}
+	s.exec(best, t)
+}
+
+// QueueDepth reports the number of tickets currently waiting (real
+// mode; always 0 in virtual mode, where dispatch is synchronous).
+func (s *Scheduler) QueueDepth() int { return int(s.depth.Load()) }
+
+// PeakQueueDepth reports the high-water queue depth (real mode) or the
+// peak busy-worker count observed at submission (virtual mode).
+func (s *Scheduler) PeakQueueDepth() int { return int(s.peakDepth.Load()) }
+
+// Submitted and Completed report lifetime ticket counts.
+func (s *Scheduler) Submitted() uint64 { return s.submitted.Load() }
+
+// Completed reports how many tickets have finished service.
+func (s *Scheduler) Completed() uint64 { return s.completed.Load() }
+
+// Close stops accepting work and waits for in-flight tickets to drain.
+// Close is idempotent; a Submit racing or following Close returns a
+// ticket that fails with ErrClosed.
+func (s *Scheduler) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	if !s.virtual {
+		close(s.queue)
+		s.wg.Wait()
+	}
+}
+
+// Makespan reports the maximum worker-clock value — the virtual time at
+// which the last worker went idle. Call only after Close (real mode) or
+// between submissions (virtual mode); worker clocks are unsynchronized
+// while workers run.
+func (s *Scheduler) Makespan() uint64 {
+	var max uint64
+	for _, wk := range s.workers {
+		if n := wk.clk.Now(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// WorkerLoads reports per-worker completed-run counts, under the same
+// quiescence requirement as Makespan.
+func (s *Scheduler) WorkerLoads() []uint64 {
+	out := make([]uint64, len(s.workers))
+	for i, wk := range s.workers {
+		out[i] = wk.runs
+	}
+	return out
+}
+
+// String summarizes scheduler state for diagnostics.
+func (s *Scheduler) String() string {
+	mode := "real"
+	if s.virtual {
+		mode = "virtual"
+	}
+	return fmt.Sprintf("sched{%s, workers=%d, submitted=%d, completed=%d, depth=%d}",
+		mode, len(s.workers), s.Submitted(), s.Completed(), s.QueueDepth())
+}

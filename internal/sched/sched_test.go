@@ -1,0 +1,355 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/guest"
+	"repro/internal/wasp"
+)
+
+// doubler mirrors the wasp test virtine: read arg at 0x0, double it,
+// store at the return region, exit(0).
+const doublerAsm = `
+	movi rbx, 0x0
+	load rdi, [rbx]
+	add rdi, rdi
+	movi rbx, 0x4000
+	store [rbx], rdi
+	movi rdi, 0
+	out 0x00, rdi
+	hlt
+`
+
+func le64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+func fromLE64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func TestSubmitRunsVirtine(t *testing.T) {
+	w := wasp.New()
+	s := New(w, 4)
+	defer s.Close()
+
+	img := guest.MustFromAsm("sched-doubler", guest.WrapLongMode(doublerAsm))
+	const n = 64
+	tickets := make([]*Ticket, n)
+	for i := range tickets {
+		tickets[i] = s.Submit(img, wasp.RunConfig{Args: le64(uint64(i)), RetBytes: 8})
+	}
+	for i, tk := range tickets {
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fromLE64(res.Ret); got != uint64(2*i) {
+			t.Fatalf("ticket %d: ret = %d, want %d", i, got, 2*i)
+		}
+		if tk.Done <= tk.Start {
+			t.Fatalf("ticket %d: empty service window [%d,%d]", i, tk.Start, tk.Done)
+		}
+	}
+	s.Close()
+	if s.Submitted() != n || s.Completed() != n {
+		t.Fatalf("submitted/completed = %d/%d, want %d/%d", s.Submitted(), s.Completed(), n, n)
+	}
+	if s.QueueDepth() != 0 {
+		t.Fatalf("queue depth %d after drain", s.QueueDepth())
+	}
+	var runs uint64
+	for _, r := range s.WorkerLoads() {
+		runs += r
+	}
+	if runs != n {
+		t.Fatalf("worker loads sum to %d, want %d", runs, n)
+	}
+	if s.Makespan() == 0 {
+		t.Fatal("makespan is zero after real work")
+	}
+}
+
+func TestTicketErrorPropagates(t *testing.T) {
+	w := wasp.New()
+	s := New(w, 2)
+	defer s.Close()
+
+	boom := errors.New("boom")
+	bad := s.SubmitFn(func(clk *cycles.Clock) (*wasp.Result, error) {
+		return nil, boom
+	})
+	good := s.SubmitFn(func(clk *cycles.Clock) (*wasp.Result, error) {
+		clk.Advance(1)
+		return nil, nil
+	})
+	if _, err := bad.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if err := WaitAll(good, bad); !errors.Is(err, boom) {
+		t.Fatalf("WaitAll = %v, want boom", err)
+	}
+}
+
+func TestVirtualModeDeterministicQueueing(t *testing.T) {
+	const svc = 1000
+	task := func(clk *cycles.Clock) (*wasp.Result, error) {
+		clk.Advance(svc)
+		return nil, nil
+	}
+	s := NewVirtual(wasp.New(), 2)
+
+	// Three arrivals at t=0 on two workers: the third must queue behind
+	// the first completion.
+	t1 := s.SubmitFnAt(0, task)
+	t2 := s.SubmitFnAt(0, task)
+	t3 := s.SubmitFnAt(0, task)
+	if err := WaitAll(t1, t2, t3); err != nil {
+		t.Fatal(err)
+	}
+	if t1.Start != 0 || t2.Start != 0 {
+		t.Fatalf("first two should start immediately, got %d/%d", t1.Start, t2.Start)
+	}
+	if t3.Start != svc {
+		t.Fatalf("third start = %d, want %d (queued behind a busy worker)", t3.Start, svc)
+	}
+	if t3.QueueCycles() != svc {
+		t.Fatalf("queue delay = %d, want %d", t3.QueueCycles(), svc)
+	}
+	if t3.DepthAtSubmit != 2 {
+		t.Fatalf("depth at submit = %d, want 2 busy workers", t3.DepthAtSubmit)
+	}
+	// A late arrival after the backlog drains must not queue.
+	t4 := s.SubmitFnAt(10*svc, task)
+	if _, err := t4.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if t4.Start != 10*svc || t4.QueueCycles() != 0 {
+		t.Fatalf("idle-arrival start = %d (queue %d), want immediate", t4.Start, t4.QueueCycles())
+	}
+	if s.Makespan() != 11*svc {
+		t.Fatalf("makespan = %d, want %d", s.Makespan(), 11*svc)
+	}
+}
+
+func TestVirtualModeReproducible(t *testing.T) {
+	run := func() []uint64 {
+		s := NewVirtual(wasp.New(), 3)
+		var starts []uint64
+		for i := 0; i < 20; i++ {
+			svc := uint64(100 + 37*(i%5))
+			tk := s.SubmitFnAt(uint64(i)*50, func(clk *cycles.Clock) (*wasp.Result, error) {
+				clk.Advance(svc)
+				return nil, nil
+			})
+			tk.Wait()
+			starts = append(starts, tk.Start)
+		}
+		return starts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("virtual schedule not reproducible at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCompletionCallback(t *testing.T) {
+	var calls atomic.Uint64
+	var queued atomic.Uint64
+	w := wasp.New()
+	s := New(w, 3, WithOnComplete(func(tk *Ticket) {
+		calls.Add(1)
+		queued.Add(tk.QueueCycles())
+	}))
+	defer s.Close()
+
+	const n = 24
+	tickets := make([]*Ticket, n)
+	for i := range tickets {
+		tickets[i] = s.SubmitFn(func(clk *cycles.Clock) (*wasp.Result, error) {
+			clk.Advance(10)
+			return nil, nil
+		})
+	}
+	if err := WaitAll(tickets...); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != n {
+		t.Fatalf("callback ran %d times, want %d", calls.Load(), n)
+	}
+}
+
+func TestQueueDepthAccounting(t *testing.T) {
+	w := wasp.New()
+	s := New(w, 1, WithQueueCap(16))
+	defer s.Close()
+
+	gate := make(chan struct{})
+	blocker := s.SubmitFn(func(clk *cycles.Clock) (*wasp.Result, error) {
+		<-gate
+		return nil, nil
+	})
+	const backlog = 5
+	tickets := make([]*Ticket, backlog)
+	for i := range tickets {
+		tickets[i] = s.SubmitFn(func(clk *cycles.Clock) (*wasp.Result, error) {
+			clk.Advance(1)
+			return nil, nil
+		})
+	}
+	// The single worker is blocked, so at least the backlog is queued
+	// (the blocker itself may or may not have been dequeued yet).
+	if d := s.QueueDepth(); d < backlog {
+		t.Fatalf("queue depth = %d with %d waiting", d, backlog)
+	}
+	if p := s.PeakQueueDepth(); p < backlog {
+		t.Fatalf("peak queue depth = %d, want >= %d", p, backlog)
+	}
+	if last := tickets[backlog-1]; last.DepthAtSubmit < backlog-1 {
+		t.Fatalf("last ticket depth-at-submit = %d, want >= %d", last.DepthAtSubmit, backlog-1)
+	}
+	close(gate)
+	if err := WaitAll(append(tickets, blocker)...); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.QueueDepth(); d != 0 {
+		t.Fatalf("queue depth = %d after drain", d)
+	}
+}
+
+func TestUndeclaredArrivalReportsNoQueueDelay(t *testing.T) {
+	w := wasp.New()
+	s := New(w, 1)
+	defer s.Close()
+	task := func(clk *cycles.Clock) (*wasp.Result, error) {
+		clk.Advance(1000)
+		return nil, nil
+	}
+	t1 := s.SubmitFn(task)
+	if _, err := t1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// The worker's clock now sits at 1000, but this ticket arrives at an
+	// idle scheduler: it must not inherit t1's service time as "queueing".
+	t2 := s.SubmitFn(task)
+	if _, err := t2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if q := t2.QueueCycles(); q != 0 {
+		t.Fatalf("idle-submit queue delay = %d, want 0", q)
+	}
+	// Declared arrivals keep full queue accounting.
+	t3 := s.SubmitFnAt(0, task)
+	if _, err := t3.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if q := t3.QueueCycles(); q != 2000 {
+		t.Fatalf("declared-arrival queue delay = %d, want 2000", q)
+	}
+}
+
+func TestSubmitAfterCloseFailsCleanly(t *testing.T) {
+	w := wasp.New()
+	s := New(w, 2)
+	ok := s.SubmitFn(func(clk *cycles.Clock) (*wasp.Result, error) {
+		clk.Advance(1)
+		return nil, nil
+	})
+	if _, err := ok.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	late := s.SubmitFn(func(clk *cycles.Clock) (*wasp.Result, error) {
+		t.Error("task ran after Close")
+		return nil, nil
+	})
+	if _, err := late.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if s.Submitted() != 1 {
+		t.Fatalf("rejected submit counted: %d", s.Submitted())
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	w := wasp.New()
+	s := New(w, 4)
+	defer s.Close()
+	img := guest.MustFromAsm("sched-stress", guest.WrapLongMode(doublerAsm))
+
+	const submitters = 8
+	const each = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tickets := make([]*Ticket, each)
+			for i := range tickets {
+				tickets[i] = s.Submit(img, wasp.RunConfig{Args: le64(uint64(g*each + i)), RetBytes: 8})
+			}
+			for i, tk := range tickets {
+				res, err := tk.Wait()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got, want := fromLE64(res.Ret), uint64(2*(g*each+i)); got != want {
+					errs <- fmt.Errorf("submitter %d ticket %d: ret %d want %d", g, i, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Completed() != submitters*each {
+		t.Fatalf("completed = %d, want %d", s.Completed(), submitters*each)
+	}
+}
+
+func TestPerWorkerClocksAdvanceIndependently(t *testing.T) {
+	s := NewVirtual(wasp.New(), 2)
+	// Alternate cheap and expensive tasks; each worker's clock must
+	// reflect only its own service history.
+	for i := 0; i < 4; i++ {
+		svc := uint64(100)
+		if i%2 == 1 {
+			svc = 1000
+		}
+		s.SubmitFnAt(0, func(clk *cycles.Clock) (*wasp.Result, error) {
+			clk.Advance(svc)
+			return nil, nil
+		})
+	}
+	loads := s.WorkerLoads()
+	if loads[0]+loads[1] != 4 {
+		t.Fatalf("loads = %v, want 4 total", loads)
+	}
+	// Worker 0 served tasks 0 and 2 (earliest-free, tie to index 0):
+	// 100 then queued 1000? No — deterministic check: makespan equals
+	// the busiest worker, which must exceed the cheap-only worker's sum.
+	if s.Makespan() < 1000 {
+		t.Fatalf("makespan = %d, want >= 1000", s.Makespan())
+	}
+}

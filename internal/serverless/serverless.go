@@ -14,10 +14,11 @@ package serverless
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"repro/internal/cycles"
 	"repro/internal/js"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/wasp"
 )
@@ -39,6 +40,9 @@ type Vespid struct {
 
 	vm    *js.VirtineJS
 	funcs map[string]*Function
+
+	schedOnce sync.Once
+	sched     *sched.Scheduler
 }
 
 // NewVespid builds the platform with the given worker parallelism.
@@ -54,6 +58,33 @@ func NewVespid(w *wasp.Wasp, workers int) *Vespid {
 
 // Register installs a function.
 func (v *Vespid) Register(f *Function) { v.funcs[f.Name] = f }
+
+// Scheduler returns the platform's dispatch substrate: a virtual-time
+// worker pool (internal/sched) as wide as the platform's worker count,
+// created on first use. All invocations queue on it, so queueing delay
+// under load comes from real scheduler state, not a side model.
+func (v *Vespid) Scheduler() *sched.Scheduler {
+	v.schedOnce.Do(func() { v.sched = sched.NewVirtual(v.W, v.Workers) })
+	return v.sched
+}
+
+// InvokeAt submits one invocation of the named function arriving at the
+// given virtual time. The ticket's Start/Done report when a platform
+// worker actually served the request; jitter (nil for none) perturbs
+// the sampled service cost the way run-to-run noise would.
+func (v *Vespid) InvokeAt(name string, arrival uint64, jitter func(uint64) uint64) *sched.Ticket {
+	return v.Scheduler().SubmitFnAt(arrival, func(clk *cycles.Clock) (*wasp.Result, error) {
+		svc, err := v.ServiceCycles(name)
+		if err != nil {
+			return nil, err
+		}
+		if jitter != nil {
+			svc = jitter(svc)
+		}
+		clk.Advance(svc)
+		return nil, nil
+	})
+}
 
 // ServiceCycles executes one invocation for real and reports its cost.
 func (v *Vespid) ServiceCycles(name string) (uint64, error) {
@@ -218,36 +249,28 @@ func RunFig15(w *wasp.Wasp, pattern LoadPattern, seed int64) ([]TracePoint, erro
 	arrivals := pattern.Arrivals()
 	whisk := NewOpenWhisk(8, seed+1)
 
-	// Vespid worker pool (event simulation).
-	workers := make([]uint64, vespid.Workers)
+	// Vespid requests queue on the platform's scheduler: each ticket is
+	// assigned to the earliest-free worker in virtual time, so queueing
+	// delay under the bursts comes from real scheduler state.
 	type done struct {
 		arrival, completion uint64
 	}
-	var vDone, wDone []done
+	var wDone []done
+	tickets := make([]*sched.Ticket, 0, len(arrivals))
 
 	for _, t := range arrivals {
-		// Vespid: earliest-free worker.
-		best := 0
-		for i := range workers {
-			if workers[i] < workers[best] {
-				best = i
-			}
-		}
-		start := t
-		if workers[best] > start {
-			start = workers[best]
-		}
-		svc, err := vespid.ServiceCycles("b64")
-		if err != nil {
-			return nil, err
-		}
-		svc = noise.Jitter(svc)
-		workers[best] = start + svc
-		vDone = append(vDone, done{t, start + svc})
+		tickets = append(tickets, vespid.InvokeAt("b64", t, noise.Jitter))
 
 		// OpenWhisk.
 		ws, wsvc := whisk.invoke(t)
 		wDone = append(wDone, done{t, ws + wsvc})
+	}
+	if err := sched.WaitAll(tickets...); err != nil {
+		return nil, err
+	}
+	vDone := make([]done, len(tickets))
+	for i, tk := range tickets {
+		vDone[i] = done{tk.Arrival, tk.Done}
 	}
 
 	// Bucket by arrival second.
@@ -329,6 +352,3 @@ func Summarize(trace []TracePoint) Summary {
 	s.WhiskMeanP50 = stats.Mean(wp)
 	return s
 }
-
-// sort is used by tests for deterministic inspection.
-var _ = sort.Ints

@@ -1,0 +1,185 @@
+package wasp
+
+import (
+	"sync"
+
+	"repro/internal/vmm"
+)
+
+// Concurrency structure of the runtime (§5.2, Fig 8).
+//
+// The paper's pooling design exists so that warm starts cost pool
+// bookkeeping instead of KVM_CREATE_VM; a single runtime-wide mutex
+// would reintroduce exactly the SEUSS/Catalyzer-class warm-start
+// contention the pool is meant to avoid once many cores drive Run
+// concurrently. The runtime therefore splits its mutable state three
+// ways, so Run calls on different images (or different size classes)
+// never touch the same lock:
+//
+//   - shellPools: cached shells, sharded by memory size class with one
+//     mutex per shard. The critical section is a slice push/pop;
+//     cleaning and KVM work happen outside it.
+//   - snapRegistry: image-name → snapshot map under a sync.RWMutex.
+//     Snapshots are written once per image (capture) and read on every
+//     warm run, so the read path takes only a shared lock.
+//   - cowRegistry: image-bound COW shells (§7.2), sharded by image
+//     name with one mutex per shard.
+
+// poolShardCount is the number of independently locked shell-pool
+// shards. A power of two so the hash reduces with a shift.
+const poolShardCount = 16
+
+// shellPools is the sharded shell cache. Each memory size class maps to
+// one shard; distinct size classes on different shards proceed fully in
+// parallel, and even classes that collide only contend on a push/pop.
+type shellPools struct {
+	shards [poolShardCount]poolShard
+}
+
+type poolShard struct {
+	mu    sync.Mutex
+	bySize map[int][]*shell
+}
+
+// shardFor hashes a memory size class onto a shard. Sizes are
+// page-granular in practice, so the page number is Fibonacci-hashed to
+// spread consecutive classes across shards.
+func (p *shellPools) shardFor(memBytes int) *poolShard {
+	h := uint64(memBytes>>12) * 0x9E3779B97F4A7C15
+	return &p.shards[h>>(64-4)] // top 4 bits: poolShardCount == 16
+}
+
+// take pops a cached shell for the size class, or nil.
+func (p *shellPools) take(memBytes int) *shell {
+	sh := p.shardFor(memBytes)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pool := sh.bySize[memBytes]
+	n := len(pool)
+	if n == 0 {
+		return nil
+	}
+	s := pool[n-1]
+	pool[n-1] = nil
+	sh.bySize[memBytes] = pool[:n-1]
+	return s
+}
+
+// put parks a shell for its size class.
+func (p *shellPools) put(memBytes int, s *shell) {
+	sh := p.shardFor(memBytes)
+	sh.mu.Lock()
+	if sh.bySize == nil {
+		sh.bySize = make(map[int][]*shell)
+	}
+	sh.bySize[memBytes] = append(sh.bySize[memBytes], s)
+	sh.mu.Unlock()
+}
+
+// size reports the number of cached shells for one size class.
+func (p *shellPools) size(memBytes int) int {
+	sh := p.shardFor(memBytes)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.bySize[memBytes])
+}
+
+// total reports the number of cached shells across all size classes.
+func (p *shellPools) total() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, pool := range sh.bySize {
+			n += len(pool)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// snapRegistry holds per-image snapshots. Reads (every warm Run) take
+// the shared lock; writes happen once per image at capture time.
+type snapRegistry struct {
+	mu   sync.RWMutex
+	byImg map[string]*snapshot
+}
+
+func (r *snapRegistry) get(name string) *snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byImg[name]
+}
+
+func (r *snapRegistry) has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.byImg[name]
+	return ok
+}
+
+func (r *snapRegistry) put(name string, s *snapshot) {
+	r.mu.Lock()
+	if r.byImg == nil {
+		r.byImg = make(map[string]*snapshot)
+	}
+	r.byImg[name] = s
+	r.mu.Unlock()
+}
+
+func (r *snapRegistry) drop(name string) {
+	r.mu.Lock()
+	delete(r.byImg, name)
+	r.mu.Unlock()
+}
+
+// cowShardCount shards the image-bound COW shells by image name.
+const cowShardCount = 8
+
+type cowRegistry struct {
+	shards [cowShardCount]cowShard
+}
+
+type cowShard struct {
+	mu    sync.Mutex
+	byImg map[string]*vmm.Context
+}
+
+func (r *cowRegistry) shardFor(name string) *cowShard {
+	// FNV-1a over the image name.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return &r.shards[h>>(64-3)] // top 3 bits: cowShardCount == 8
+}
+
+// take claims the image-bound context, if one is parked.
+func (r *cowRegistry) take(name string) *vmm.Context {
+	sh := r.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ctx := sh.byImg[name]
+	if ctx != nil {
+		delete(sh.byImg, name)
+	}
+	return ctx
+}
+
+// park binds a context to its image for the next COW reset. It reports
+// whether the context was parked; false means a shell is already bound
+// to the image and the caller should recycle ctx through the pool.
+func (r *cowRegistry) park(name string, ctx *vmm.Context) bool {
+	sh := r.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.byImg[name]; dup {
+		return false
+	}
+	if sh.byImg == nil {
+		sh.byImg = make(map[string]*vmm.Context)
+	}
+	sh.byImg[name] = ctx
+	return true
+}

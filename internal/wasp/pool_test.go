@@ -1,0 +1,132 @@
+package wasp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/guest"
+)
+
+// TestGuestMemOverflowBounds is the regression test for the wrapping
+// bounds checks: addr+n overflows uint64 and used to pass the check,
+// letting a guest read or write host memory out of bounds.
+func TestGuestMemOverflowBounds(t *testing.T) {
+	g := guestMem{mem: make([]byte, 4096), clk: cycles.NewClock()}
+
+	addr := ^uint64(0) - 8 // addr + 16 wraps to 7
+	if _, err := g.ReadGuest(addr, 16); err == nil {
+		t.Fatal("overflowing read passed the bounds check")
+	}
+	if err := g.WriteGuest(addr, make([]byte, 16)); err == nil {
+		t.Fatal("overflowing write passed the bounds check")
+	}
+	// addr just past the window, n small enough that addr+n wraps not at
+	// all — plain out-of-bounds must still fail.
+	if _, err := g.ReadGuest(uint64(len(g.mem))+1, 0); err == nil {
+		t.Fatal("read past end passed the bounds check")
+	}
+	// Boundary cases that must remain legal.
+	if _, err := g.ReadGuest(uint64(len(g.mem)), 0); err != nil {
+		t.Fatalf("zero-length read at end rejected: %v", err)
+	}
+	if _, err := g.ReadGuest(0, len(g.mem)); err != nil {
+		t.Fatalf("full-window read rejected: %v", err)
+	}
+	if err := g.WriteGuest(uint64(len(g.mem))-4, make([]byte, 4)); err != nil {
+		t.Fatalf("tail write rejected: %v", err)
+	}
+}
+
+// TestConcurrentRunStress hammers Run from many goroutines across three
+// images with pooling and snapshotting enabled — the scenario the
+// sharded pools exist for. Run under -race this doubles as the data-race
+// check on the pool, snapshot, and COW registries.
+func TestConcurrentRunStress(t *testing.T) {
+	const (
+		goroutines = 16
+		runsEach   = 25
+	)
+	w := New() // pooling + snapshotting on
+	images := make([]*guest.Image, 3)
+	for i := range images {
+		images[i] = guest.MustFromAsm(
+			fmt.Sprintf("stress-%d", i),
+			guest.WrapLongMode(snapshotCounterAsm))
+	}
+	cfg := RunConfig{Snapshot: true, RetBytes: 16}
+
+	// Warm each image once so every concurrent run can hit the snapshot
+	// fast path.
+	for _, img := range images {
+		if _, err := w.Run(img, cfg, cycles.NewClock()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < runsEach; i++ {
+				img := images[(g+i)%len(images)]
+				res, err := w.Run(img, cfg, cycles.NewClock())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.SnapshotUsed {
+					errs <- fmt.Errorf("%s run %d: snapshot not reused", img.Name, i)
+					return
+				}
+				// Resume-at-snapshot semantics must hold under contention.
+				if pre, post := fromLE64(res.Ret[:8]), fromLE64(res.Ret[8:]); pre != 1 || post != 1 {
+					errs <- fmt.Errorf("%s run %d: counters %d/%d, want 1/1", img.Name, i, pre, post)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Pool accounting must be consistent after the storm: every context
+	// ever created was released exactly once, so the cached-shell count
+	// is positive and bounded by the peak concurrency (warm-up + workers).
+	mem := images[0].MemBytes()
+	total := w.PoolTotal()
+	if total == 0 {
+		t.Fatal("no shells cached after concurrent runs")
+	}
+	if total > goroutines+1 {
+		t.Fatalf("pool holds %d shells, more than peak concurrency %d", total, goroutines+1)
+	}
+	if size := w.PoolSize(mem); size != total {
+		t.Fatalf("per-class pool size %d != total %d for the single size class", size, total)
+	}
+	for _, img := range images {
+		if !w.HasSnapshot(img.Name) {
+			t.Fatalf("snapshot for %s lost during concurrent runs", img.Name)
+		}
+	}
+	// And the pool still works: one more run per image reuses shells and
+	// snapshots.
+	for _, img := range images {
+		res, err := w.Run(img, cfg, cycles.NewClock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.SnapshotUsed {
+			t.Fatalf("%s: snapshot not reused after stress", img.Name)
+		}
+	}
+	if w.PoolTotal() != total {
+		t.Fatalf("pool total changed %d -> %d across steady-state runs", total, w.PoolTotal())
+	}
+}

@@ -22,7 +22,6 @@ package wasp
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/cycles"
@@ -31,12 +30,13 @@ import (
 
 // Wasp is the hypervisor runtime. It is safe for concurrent use; each
 // Run advances its own caller-supplied clock, so concurrent runs model
-// independent cores.
+// independent cores. Mutable state is split into independently locked
+// pieces (see pool.go) so concurrent Runs on different images or size
+// classes never contend on a single runtime-wide lock.
 type Wasp struct {
-	mu        sync.Mutex
-	pools     map[int][]*shell
-	snapshots map[string]*snapshot
-	cowShells map[string]*vmm.Context
+	pools     shellPools
+	snapshots snapRegistry
+	cowShells cowRegistry
 
 	pooling    bool
 	asyncClean bool
@@ -88,9 +88,6 @@ func WithCOW(on bool) Option { return func(w *Wasp) { w.cow = on } }
 // synchronous cleaning — the paper's default configuration.
 func New(opts ...Option) *Wasp {
 	w := &Wasp{
-		pools:      make(map[int][]*shell),
-		snapshots:  make(map[string]*snapshot),
-		cowShells:  make(map[string]*vmm.Context),
 		pooling:    true,
 		snapEnable: true,
 		platform:   vmm.KVM{},
@@ -108,12 +105,7 @@ func New(opts ...Option) *Wasp {
 // are always already clean).
 func (w *Wasp) acquire(memBytes int, clk *cycles.Clock) *vmm.Context {
 	if w.pooling {
-		w.mu.Lock()
-		pool := w.pools[memBytes]
-		if n := len(pool); n > 0 {
-			s := pool[n-1]
-			w.pools[memBytes] = pool[:n-1]
-			w.mu.Unlock()
+		if s := w.pools.take(memBytes); s != nil {
 			clk.Advance(cycles.PoolAcquire)
 			s.ctx.Clock = clk
 			s.ctx.CPU.Clock = clk
@@ -123,7 +115,6 @@ func (w *Wasp) acquire(memBytes int, clk *cycles.Clock) *vmm.Context {
 			}
 			return s.ctx
 		}
-		w.mu.Unlock()
 	}
 	return vmm.CreateOn(w.platform, memBytes, clk)
 }
@@ -140,69 +131,49 @@ func (w *Wasp) release(ctx *vmm.Context) {
 		ctx.CleanSilent()
 		s.dirty = false
 	}
-	w.mu.Lock()
-	w.pools[len(ctx.Mem)] = append(w.pools[len(ctx.Mem)], s)
-	w.mu.Unlock()
+	w.pools.put(len(ctx.Mem), s)
 }
 
 // takeCOWShell claims the image-bound context, if one is parked.
 func (w *Wasp) takeCOWShell(name string) *vmm.Context {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	ctx := w.cowShells[name]
-	if ctx != nil {
-		delete(w.cowShells, name)
-	}
-	return ctx
+	return w.cowShells.take(name)
 }
 
 // parkCOWShell binds a context to its image for the next COW reset. If a
 // shell is already parked for the image, the context is recycled through
 // the ordinary pool instead.
 func (w *Wasp) parkCOWShell(name string, ctx *vmm.Context) {
-	w.mu.Lock()
-	_, dup := w.cowShells[name]
-	if !dup {
-		w.cowShells[name] = ctx
-	}
-	w.mu.Unlock()
-	if dup {
+	if !w.cowShells.park(name, ctx) {
 		w.release(ctx)
 	}
 }
 
 // PoolSize reports the number of cached shells for a memory size.
 func (w *Wasp) PoolSize(memBytes int) int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.pools[memBytes])
+	return w.pools.size(memBytes)
+}
+
+// PoolTotal reports the number of cached shells across all size classes.
+func (w *Wasp) PoolTotal() int {
+	return w.pools.total()
 }
 
 // HasSnapshot reports whether an image has a stored snapshot.
 func (w *Wasp) HasSnapshot(name string) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	_, ok := w.snapshots[name]
-	return ok
+	return w.snapshots.has(name)
 }
 
 // DropSnapshot removes a stored snapshot (tests and ablations).
 func (w *Wasp) DropSnapshot(name string) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	delete(w.snapshots, name)
+	w.snapshots.drop(name)
 }
 
 func (w *Wasp) getSnapshot(name string) *snapshot {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.snapshots[name]
+	return w.snapshots.get(name)
 }
 
 func (w *Wasp) putSnapshot(name string, s *snapshot) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.snapshots[name] = s
+	w.snapshots.put(name, s)
 }
 
 // guestMem is the bounds-checked GuestMem window handlers receive. Bulk
@@ -216,7 +187,9 @@ type guestMem struct {
 }
 
 func (g guestMem) ReadGuest(addr uint64, n int) ([]byte, error) {
-	if n < 0 || addr+uint64(n) > uint64(len(g.mem)) || addr > uint64(len(g.mem)) {
+	// Overflow-safe bounds check: addr+n can wrap for huge addr, so
+	// compare the remaining window instead of the sum.
+	if n < 0 || addr > uint64(len(g.mem)) || uint64(n) > uint64(len(g.mem))-addr {
 		return nil, fmt.Errorf("wasp: guest read [%#x,+%d) out of bounds", addr, n)
 	}
 	g.clk.Advance(cycles.MemcpyCost(n))
@@ -226,7 +199,7 @@ func (g guestMem) ReadGuest(addr uint64, n int) ([]byte, error) {
 }
 
 func (g guestMem) WriteGuest(addr uint64, b []byte) error {
-	if addr+uint64(len(b)) > uint64(len(g.mem)) || addr > uint64(len(g.mem)) {
+	if addr > uint64(len(g.mem)) || uint64(len(b)) > uint64(len(g.mem))-addr {
 		return fmt.Errorf("wasp: guest write [%#x,+%d) out of bounds", addr, len(b))
 	}
 	g.clk.Advance(cycles.MemcpyCost(len(b)))
