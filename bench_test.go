@@ -641,3 +641,36 @@ sl:
 		})
 	}
 }
+
+// BenchmarkWaspCARelease isolates the release-path win of true async
+// cleaning (Fig 8): under Wasp+C a reused shell pays its zeroing on the
+// measured path (at the next acquire); under Wasp+CA release hands the
+// dirty shell to the background cleaner and no ZeroCost ever lands on
+// the run clock. vcycles/op must come out lower for wasp+CA.
+func BenchmarkWaspCARelease(b *testing.B) {
+	img := guest.MinimalHalt()
+	for _, mode := range []struct {
+		name string
+		opts []wasp.Option
+	}{
+		{"wasp+C", nil},
+		{"wasp+CA", []wasp.Option{wasp.WithAsyncClean(true)}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			w := wasp.New(mode.opts...)
+			if _, err := w.Run(img, wasp.RunConfig{}, cycles.NewClock()); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				clk := cycles.NewClock()
+				if _, err := w.Run(img, wasp.RunConfig{}, clk); err != nil {
+					b.Fatal(err)
+				}
+				total += clk.Now()
+			}
+			report(b, total)
+		})
+	}
+}

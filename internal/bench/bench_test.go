@@ -322,3 +322,27 @@ func TestRegistryAndRendering(t *testing.T) {
 		t.Fatalf("csv: %s", buf.String())
 	}
 }
+
+func TestWaspCAClaims(t *testing.T) {
+	tab, err := WaspCA(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cellF(t, tab, findRow(t, tab, "Wasp+C ("), 1)
+	ca := cellF(t, tab, findRow(t, tab, "Wasp+CA"), 1)
+	// The release-path win: with cleaning off the critical path, the
+	// mean per-run cost must drop by (roughly) the shell zeroing cost.
+	if ca >= c {
+		t.Fatalf("Wasp+CA mean (%v) not cheaper than Wasp+C (%v)", ca, c)
+	}
+	// Cleaning really happened on the async lanes.
+	if cleaned := cellF(t, tab, findRow(t, tab, "Wasp+CA"), 4); cleaned == 0 {
+		t.Fatal("no shell was cleaned asynchronously")
+	}
+	// The capacity bound holds after the burst.
+	for _, name := range []string{"Wasp+C (", "Wasp+CA"} {
+		if pool := cellF(t, tab, findRow(t, tab, name), 3); pool > 64 {
+			t.Fatalf("%s: pool total %v exceeds the per-class cap", name, pool)
+		}
+	}
+}

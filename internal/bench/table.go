@@ -105,6 +105,7 @@ var Registry = []struct {
 	{"fig14", "Fig 14: JavaScript virtine slowdowns", Fig14},
 	{"fig15", "Fig 15: serverless virtines vs OpenWhisk", Fig15},
 	{"sched", "Scheduler saturation: Run throughput vs workers", SchedSaturation},
+	{"wasp-ca", "Wasp+C vs Wasp+CA: async cleaning off the critical path", WaspCA},
 }
 
 // Lookup finds a runner by experiment ID.

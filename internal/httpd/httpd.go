@@ -107,6 +107,14 @@ virtine_config(0xFC) int handle(int unused) {
 	memcpy(resp + rn, "\r\n\r\n", 4);
 	rn += 4;
 	int m = read(fd, resp + rn, size);         /* (4) read file       */
+	if (m < 0) {
+		/* a failed host read must not reach the response: rn would
+		   absorb the negative count and send() would leak garbage */
+		close(fd);
+		char *er = "HTTP/1.0 500 Internal Server Error\r\n\r\n";
+		send(3, er, strlen(er));
+		return 500;
+	}
 	rn += m;
 
 	send(3, resp, rn);                         /* (5) write response  */
@@ -220,6 +228,14 @@ func ParseTicket(t *sched.Ticket) (*Response, error) {
 func (s *FileServer) ServeMany(reqs [][]byte, workers int) ([]*Response, error) {
 	sc := sched.New(s.W, workers)
 	defer sc.Close()
+	// Prewarm the handler's size class so the opening burst hits warm
+	// shells instead of paying one cold create per worker; the pool
+	// policy keeps the warm set sized from there.
+	need := workers
+	if len(reqs) < need {
+		need = len(reqs)
+	}
+	s.W.Prewarm(s.image.MemBytes(), need)
 	tickets := make([]*sched.Ticket, len(reqs))
 	for i, req := range reqs {
 		tickets[i] = s.Submit(sc, req)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cycles"
 	"repro/internal/hypercall"
+	"repro/internal/vcc"
 	"repro/internal/wasp"
 )
 
@@ -264,5 +265,50 @@ func TestRequestParseRejectsGarbage(t *testing.T) {
 	}
 	if _, err := parseResponse([]byte("HTTP/1.0 xx"), 0, 0); err == nil {
 		t.Fatal("bad status parsed")
+	}
+}
+
+// TestFileServerFailedReadReturns500 is the regression test for the
+// guest handler swallowing a failed read: a negative return from
+// read() used to be added to the response length, sending a garbled
+// partial 200. The handler must answer with a clean 500 instead.
+func TestFileServerFailedReadReturns500(t *testing.T) {
+	w := wasp.New()
+	srv, err := NewFileServer(w, testFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := srv.newEnv()
+	env.NetIn = Request("/index.html")
+	// Fail the guest's file read underneath an otherwise healthy host:
+	// stat and open succeed, read reports -1 errno-style.
+	failRead := hypercall.HandlerFunc(func(call hypercall.Args, mem hypercall.GuestMem) (uint64, error) {
+		if call.Nr == hypercall.NrRead && call.A0 != hypercall.SocketFD {
+			return ^uint64(0), nil
+		}
+		return env.Handle(call, mem)
+	})
+	res, err := w.Run(srv.image, wasp.RunConfig{
+		Policy:   srv.policy,
+		Env:      env,
+		Handler:  failRead,
+		Args:     vcc.MarshalArgs(0),
+		RetBytes: vcc.RetSize,
+	}, cycles.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := parseResponse(res.NetOut, res.Cycles, res.IOExits)
+	if err != nil {
+		t.Fatalf("failed read corrupted the response: %v", err)
+	}
+	if resp.Status != 500 {
+		t.Fatalf("status = %d, want 500", resp.Status)
+	}
+	if len(resp.Body) != 0 {
+		t.Fatalf("500 response carries a body: %q", resp.Body)
+	}
+	if bytes.Contains(res.NetOut, []byte("200 OK")) {
+		t.Fatalf("partial 200 leaked into the wire bytes: %q", res.NetOut)
 	}
 }

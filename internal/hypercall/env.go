@@ -118,7 +118,7 @@ func (e *Env) Handle(call Args, mem GuestMem) (uint64, error) {
 		}
 		data, err := e.FS.Read(int(fd), int(n))
 		if err != nil {
-			return 0, err
+			return ^uint64(0), nil // -1: bad descriptor / failed read (errno-style, like open/stat)
 		}
 		if err := mem.WriteGuest(buf, data); err != nil {
 			return 0, fmt.Errorf("read: %w", err)

@@ -353,3 +353,17 @@ func TestHandlerFunc(t *testing.T) {
 		t.Fatal("HandlerFunc broken")
 	}
 }
+
+// TestReadBadDescriptorErrno: a failed file read reports -1 to the
+// guest (errno-style, like open and stat) instead of killing the run,
+// so guest code can handle the failure.
+func TestReadBadDescriptorErrno(t *testing.T) {
+	env := NewEnv()
+	ret, err := env.Handle(Args{Nr: NrRead, A0: 99, A1: 0, A2: 8}, newMem(64))
+	if err != nil {
+		t.Fatalf("bad-fd read must fail errno-style, got hard error %v", err)
+	}
+	if ret != ^uint64(0) {
+		t.Fatalf("ret = %#x, want -1", ret)
+	}
+}

@@ -22,6 +22,17 @@
 //     earliest-free worker in virtual time; queueing delay comes from
 //     the worker clocks, i.e. from real queue state. The serverless
 //     Fig 15 simulation uses this mode so results stay reproducible.
+//
+// The scheduler is also the drive shaft of true Wasp+CA (Fig 8): when
+// the runtime cleans shells asynchronously, real-mode workers scrub
+// dirty shells on a low-priority lane whenever the ticket queue is
+// momentarily empty (cleaning rides the pool's idle capacity, never a
+// request clock), and virtual mode drives the runtime's Cleaner as a
+// dedicated virtual core whose clock absorbs every zeroing cost
+// (CleanerCycles). Completed image tickets additionally feed their
+// queue-depth and service-time telemetry back into the runtime's
+// pool-sizing policy (wasp.ObserveLoad), so bursts prewarm the warm
+// shell pool and idle periods shrink it.
 package sched
 
 import (
@@ -70,6 +81,11 @@ type Ticket struct {
 	// workers still busy at the arrival time).
 	DepthAtSubmit int
 
+	// memBytes is the guest-memory size class of an image submission;
+	// 0 for raw tasks. Completed image tickets feed the pool-sizing
+	// policy with it.
+	memBytes int
+
 	res *wasp.Result
 	err error
 }
@@ -86,7 +102,15 @@ func (t *Ticket) Wait() (*wasp.Result, error) {
 // an arrival time (Submit/SubmitFn) report 0 — use SubmitAt/SubmitFnAt
 // for virtual-time queue accounting, or DepthAtSubmit for instantaneous
 // backlog. Valid after Wait.
-func (t *Ticket) QueueCycles() uint64 { return t.Start - t.Arrival }
+func (t *Ticket) QueueCycles() uint64 {
+	// A ticket that never started service (e.g. submitted after Close)
+	// keeps Start == 0; with a nonzero declared Arrival the subtraction
+	// would wrap to ~1.8e19 cycles. Report zero queueing instead.
+	if t.Start < t.Arrival {
+		return 0
+	}
+	return t.Start - t.Arrival
+}
 
 // ServiceCycles reports the service time on the worker (virtual
 // cycles). Valid after Wait.
@@ -106,17 +130,24 @@ func WaitAll(tickets ...*Ticket) error {
 }
 
 // worker is one execution lane with its own virtual clock — the model
-// of one physical core serving virtines back to back.
+// of one physical core serving virtines back to back. runs is atomic so
+// WorkerLoads stays a safe diagnostic read even while workers execute.
 type worker struct {
 	id   int
 	clk  *cycles.Clock
-	runs uint64
+	runs atomic.Uint64
 }
 
 // Scheduler is a bounded worker-pool executor over a Wasp runtime.
 type Scheduler struct {
 	w       *wasp.Wasp
 	virtual bool
+
+	// cleaner is the runtime's Wasp+CA background cleaner, when async
+	// cleaning is on: real-mode workers drain it on the idle lane;
+	// virtual mode drives it as a dedicated virtual core.
+	cleaner       *wasp.Cleaner
+	cleanerDrains atomic.Uint64
 
 	queue chan *Ticket // real mode only
 	wg    sync.WaitGroup
@@ -188,6 +219,15 @@ func newScheduler(w *wasp.Wasp, n int, virtual bool, opts ...Option) *Scheduler 
 	for _, o := range opts {
 		o(s)
 	}
+	if c := w.Cleaner(); c != nil {
+		s.cleaner = c
+		if virtual {
+			// Model the cleaner as a dedicated virtual core: this
+			// scheduler drains it deterministically after each ticket
+			// (DrainAt) instead of the wall-clock background goroutine.
+			c.SetDriven(true)
+		}
+	}
 	return s
 }
 
@@ -200,14 +240,14 @@ func (s *Scheduler) Wasp() *wasp.Wasp { return s.w }
 // Submit schedules one virtine execution — the asynchronous analogue of
 // wasp.Run. The returned Ticket is the future for its result.
 func (s *Scheduler) Submit(img *guest.Image, cfg wasp.RunConfig) *Ticket {
-	return s.submit(0, false, s.runTask(img, cfg))
+	return s.submit(0, false, img.MemBytes(), s.runTask(img, cfg))
 }
 
 // SubmitAt schedules a virtine execution arriving at the given virtual
 // time. The assigned worker's clock first advances to the arrival time,
 // so queueing delay is measured against it.
 func (s *Scheduler) SubmitAt(arrival uint64, img *guest.Image, cfg wasp.RunConfig) *Ticket {
-	return s.submit(arrival, true, s.runTask(img, cfg))
+	return s.submit(arrival, true, img.MemBytes(), s.runTask(img, cfg))
 }
 
 func (s *Scheduler) runTask(img *guest.Image, cfg wasp.RunConfig) Task {
@@ -217,16 +257,16 @@ func (s *Scheduler) runTask(img *guest.Image, cfg wasp.RunConfig) Task {
 }
 
 // SubmitFn schedules an arbitrary task on the worker pool.
-func (s *Scheduler) SubmitFn(fn Task) *Ticket { return s.submit(0, false, fn) }
+func (s *Scheduler) SubmitFn(fn Task) *Ticket { return s.submit(0, false, 0, fn) }
 
 // SubmitFnAt schedules an arbitrary task arriving at the given virtual
 // time.
 func (s *Scheduler) SubmitFnAt(arrival uint64, fn Task) *Ticket {
-	return s.submit(arrival, true, fn)
+	return s.submit(arrival, true, 0, fn)
 }
 
-func (s *Scheduler) submit(arrival uint64, hasArrival bool, fn Task) *Ticket {
-	t := &Ticket{run: fn, Arrival: arrival, hasArrival: hasArrival, done: make(chan struct{})}
+func (s *Scheduler) submit(arrival uint64, hasArrival bool, memBytes int, fn Task) *Ticket {
+	t := &Ticket{run: fn, Arrival: arrival, hasArrival: hasArrival, memBytes: memBytes, done: make(chan struct{})}
 	// The read lock lets submits proceed concurrently while excluding
 	// Close: the queue cannot be closed under an in-flight send, and a
 	// submit after Close gets an ErrClosed ticket instead of a panic.
@@ -254,11 +294,34 @@ func (s *Scheduler) submit(arrival uint64, hasArrival bool, fn Task) *Ticket {
 	return t
 }
 
+// workerLoop drains tickets with priority; when the queue is
+// momentarily empty it scrubs one dirty shell from the runtime's
+// cleaner (the Wasp+CA low-priority lane) before blocking for the next
+// ticket. Cleaning runs on the worker's host thread but is never
+// charged to its virtual clock — idle capacity absorbs it, exactly like
+// the paper's background cleaning thread.
 func (s *Scheduler) workerLoop(wk *worker) {
 	defer s.wg.Done()
-	for t := range s.queue {
-		s.depth.Add(-1)
-		s.exec(wk, t)
+	for {
+		select {
+		case t, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.depth.Add(-1)
+			s.exec(wk, t)
+		default:
+			if s.cleaner != nil && s.cleaner.DrainOne() {
+				s.cleanerDrains.Add(1)
+				continue
+			}
+			t, ok := <-s.queue
+			if !ok {
+				return
+			}
+			s.depth.Add(-1)
+			s.exec(wk, t)
+		}
 	}
 }
 
@@ -272,8 +335,14 @@ func (s *Scheduler) exec(wk *worker, t *Ticket) {
 	t.Worker = wk.id
 	t.res, t.err = t.run(wk.clk)
 	t.Done = wk.clk.Now()
-	wk.runs++
+	wk.runs.Add(1)
 	s.completed.Add(1)
+	if t.memBytes > 0 {
+		// Feed the pool-sizing policy: backlog at submit and service
+		// time of this size class (prewarm under bursts, shrink when
+		// idle).
+		s.w.ObserveLoad(t.memBytes, t.DepthAtSubmit, t.Done-t.Start)
+	}
 	if s.onComplete != nil {
 		s.onComplete(t)
 	}
@@ -301,6 +370,11 @@ func (s *Scheduler) dispatchVirtual(t *Ticket) {
 		s.peakDepth.Store(d)
 	}
 	s.exec(best, t)
+	if s.cleaner != nil {
+		// The dedicated virtual cleaner core picks up the shells this
+		// ticket released, no earlier than the ticket's completion.
+		s.cleanerDrains.Add(uint64(s.cleaner.DrainAt(t.Done)))
+	}
 }
 
 // QueueDepth reports the number of tickets currently waiting (real
@@ -331,6 +405,10 @@ func (s *Scheduler) Close() {
 	if !s.virtual {
 		close(s.queue)
 		s.wg.Wait()
+	} else if s.cleaner != nil {
+		// Hand drain ownership back to the runtime: any leftover dirty
+		// shells go to the background cleaner.
+		s.cleaner.SetDriven(false)
 	}
 }
 
@@ -348,14 +426,29 @@ func (s *Scheduler) Makespan() uint64 {
 	return max
 }
 
-// WorkerLoads reports per-worker completed-run counts, under the same
-// quiescence requirement as Makespan.
+// WorkerLoads reports per-worker completed-run counts. Unlike Makespan,
+// the counts are atomic, so this diagnostic read is safe even while
+// workers are executing.
 func (s *Scheduler) WorkerLoads() []uint64 {
 	out := make([]uint64, len(s.workers))
 	for i, wk := range s.workers {
-		out[i] = wk.runs
+		out[i] = wk.runs.Load()
 	}
 	return out
+}
+
+// CleanerDrains reports dirty shells this scheduler scrubbed: on the
+// real-mode idle-worker lane, or on the virtual cleaner core.
+func (s *Scheduler) CleanerDrains() uint64 { return s.cleanerDrains.Load() }
+
+// CleanerCycles reports the virtual cleaner core's clock — the total
+// zeroing work Wasp+CA moved off the request path (virtual mode; 0 when
+// cleaning is synchronous or real-mode).
+func (s *Scheduler) CleanerCycles() uint64 {
+	if s.cleaner == nil {
+		return 0
+	}
+	return s.cleaner.Cycles()
 }
 
 // String summarizes scheduler state for diagnostics.

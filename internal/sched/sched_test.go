@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cycles"
 	"repro/internal/guest"
@@ -325,6 +326,170 @@ func TestConcurrentSubmitters(t *testing.T) {
 	}
 	if s.Completed() != submitters*each {
 		t.Fatalf("completed = %d, want %d", s.Completed(), submitters*each)
+	}
+}
+
+// TestQueueCyclesNoUnderflowAfterClose is the regression test for the
+// uint64 wrap: a ticket with a declared arrival that races or follows
+// Close never starts (Start == 0), and Start-Arrival used to wrap to
+// ~1.8e19 cycles.
+func TestQueueCyclesNoUnderflowAfterClose(t *testing.T) {
+	task := func(clk *cycles.Clock) (*wasp.Result, error) { return nil, nil }
+	for _, mode := range []struct {
+		name string
+		mk   func() *Scheduler
+	}{
+		{"real", func() *Scheduler { return New(wasp.New(), 1) }},
+		{"virtual", func() *Scheduler { return NewVirtual(wasp.New(), 1) }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			s := mode.mk()
+			s.Close()
+			tk := s.SubmitFnAt(123_456, task)
+			if _, err := tk.Wait(); !errors.Is(err, ErrClosed) {
+				t.Fatalf("err = %v, want ErrClosed", err)
+			}
+			if q := tk.QueueCycles(); q != 0 {
+				t.Fatalf("failed ticket queue delay = %d, want 0 (wrapped?)", q)
+			}
+			if sv := tk.ServiceCycles(); sv != 0 {
+				t.Fatalf("failed ticket service = %d, want 0", sv)
+			}
+		})
+	}
+}
+
+// TestIdleWorkersDrainCleaner proves the Wasp+CA low-priority lane: with
+// the background drain goroutine disabled (driven mode), only idle
+// scheduler workers can scrub, and they must empty the dirty queue
+// between tickets.
+func TestIdleWorkersDrainCleaner(t *testing.T) {
+	w := wasp.New(wasp.WithAsyncClean(true))
+	w.Cleaner().SetDriven(true) // no background goroutine: idle lane only
+	defer w.Cleaner().SetDriven(false)
+	s := New(w, 2)
+	defer s.Close()
+	img := guest.MustFromAsm("idle-clean", guest.WrapLongMode(doublerAsm))
+
+	const n = 8
+	tickets := make([]*Ticket, n)
+	for i := range tickets {
+		tickets[i] = s.Submit(img, wasp.RunConfig{Args: le64(uint64(i)), RetBytes: 8})
+	}
+	if err := WaitAll(tickets...); err != nil {
+		t.Fatal(err)
+	}
+	// The worker that served the last ticket drains the queue before
+	// blocking for more work; give it a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Cleaner().Pending() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle workers never drained the cleaner: %d pending", w.Cleaner().Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.CleanerDrains() == 0 {
+		t.Fatal("no shell was scrubbed on the idle-worker lane")
+	}
+	if w.PoolTotal() == 0 {
+		t.Fatal("no cleaned shell was parked back in the pool")
+	}
+}
+
+// TestVirtualWaspCADeterminism: with async cleaning modelled as a
+// dedicated virtual core, Wasp+CA virtual-mode schedules stay fully
+// reproducible — makespan, cleaner-core cycles, and drain counts.
+func TestVirtualWaspCADeterminism(t *testing.T) {
+	run := func() (makespan, cleanerCycles, drains uint64) {
+		w := wasp.New(wasp.WithAsyncClean(true))
+		s := NewVirtual(w, 2)
+		defer s.Close()
+		img := guest.MustFromAsm("vca-det", guest.WrapLongMode(doublerAsm))
+		for i := 0; i < 12; i++ {
+			tk := s.SubmitAt(uint64(i)*50_000, img, wasp.RunConfig{Args: le64(uint64(i)), RetBytes: 8})
+			if _, err := tk.Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Makespan(), s.CleanerCycles(), s.CleanerDrains()
+	}
+	m1, c1, d1 := run()
+	m2, c2, d2 := run()
+	if m1 != m2 || c1 != c2 || d1 != d2 {
+		t.Fatalf("Wasp+CA virtual schedule not reproducible: (%d,%d,%d) vs (%d,%d,%d)",
+			m1, c1, d1, m2, c2, d2)
+	}
+	if c1 == 0 {
+		t.Fatal("virtual cleaner core did no work")
+	}
+	if d1 != 12 {
+		t.Fatalf("cleaner drains = %d, want 12 (one released shell per run)", d1)
+	}
+}
+
+// TestWorkerLoadsConcurrentRead reads WorkerLoads while workers
+// execute; with atomic run counters this is race-free under -race.
+func TestWorkerLoadsConcurrentRead(t *testing.T) {
+	w := wasp.New()
+	s := New(w, 2)
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.WorkerLoads()
+			}
+		}
+	}()
+	const n = 32
+	tickets := make([]*Ticket, n)
+	for i := range tickets {
+		tickets[i] = s.SubmitFn(func(clk *cycles.Clock) (*wasp.Result, error) {
+			clk.Advance(100)
+			return nil, nil
+		})
+	}
+	if err := WaitAll(tickets...); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	rg.Wait()
+	var sum uint64
+	for _, r := range s.WorkerLoads() {
+		sum += r
+	}
+	if sum != n {
+		t.Fatalf("worker loads sum to %d, want %d", sum, n)
+	}
+}
+
+// TestSchedulerFeedsPoolPolicy: queue-depth telemetry from completed
+// tickets must raise the image class's warm target (virtual mode, so
+// the observed depths are deterministic).
+func TestSchedulerFeedsPoolPolicy(t *testing.T) {
+	w := wasp.New(wasp.WithPoolPolicy(wasp.PoolPolicy{MaxPerClass: 8, GrowDepth: 2, GrowBatch: 8, ShrinkAfter: 1000}))
+	s := NewVirtual(w, 2)
+	defer s.Close()
+	img := guest.MustFromAsm("policy-feed", guest.WrapLongMode(doublerAsm))
+	for i := 0; i < 8; i++ {
+		tk := s.SubmitAt(0, img, wasp.RunConfig{Args: le64(uint64(i)), RetBytes: 8})
+		if _, err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.PoolStatsFor(img.MemBytes())
+	if st.Target < 2 {
+		t.Fatalf("warm target = %d after a burst at depth >= 2, want >= 2", st.Target)
+	}
+	if w.PoolTotal() > 8 {
+		t.Fatalf("pool total %d exceeds class cap", w.PoolTotal())
 	}
 }
 

@@ -10,6 +10,12 @@
 // service cost comes from actually executing the JS virtine (Vespid) or
 // from the container cost model (OpenWhisk), and requests queue on a
 // bounded worker/container pool exactly as they would on one node.
+//
+// When the Wasp runtime cleans shells asynchronously (Wasp+CA), the
+// platform's virtual scheduler additionally models the background
+// cleaner as a dedicated virtual core: every shell a finished
+// invocation releases is zeroed on that core's clock, off every request
+// path (Vespid.CleanerCycles reports the total moved off-path).
 package serverless
 
 import (
@@ -66,6 +72,15 @@ func (v *Vespid) Register(f *Function) { v.funcs[f.Name] = f }
 func (v *Vespid) Scheduler() *sched.Scheduler {
 	v.schedOnce.Do(func() { v.sched = sched.NewVirtual(v.W, v.Workers) })
 	return v.sched
+}
+
+// CleanerCycles reports the zeroing work the platform's virtual cleaner
+// core absorbed — 0 when the runtime cleans synchronously.
+func (v *Vespid) CleanerCycles() uint64 {
+	if c := v.W.Cleaner(); c != nil {
+		return c.BusyCycles()
+	}
+	return 0
 }
 
 // InvokeAt submits one invocation of the named function arriving at the
@@ -244,6 +259,15 @@ func RunFig15(w *wasp.Wasp, pattern LoadPattern, seed int64) ([]TracePoint, erro
 	if _, err := vespid.ServiceCycles("b64"); err != nil {
 		return nil, err
 	}
+	// Pin Wasp+CA accounting before the simulation starts: scrub the
+	// warm-up shell on the host lanes, then create the scheduler so it
+	// takes drain ownership. The virtual cleaner core's telemetry then
+	// covers exactly the simulated invocations, reproducibly — not a
+	// race between the background goroutine and the ownership handoff.
+	if c := w.Cleaner(); c != nil {
+		c.Drain()
+	}
+	vespid.Scheduler()
 	noise := cycles.NewNoise(seed)
 
 	arrivals := pattern.Arrivals()

@@ -1,0 +1,247 @@
+package wasp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/guest"
+	"repro/internal/vmm"
+)
+
+// dirtyProbeAsm reports the heap word at 0x6000 as its return value and
+// then dirties it. A shell handed out without cleaning makes the next
+// probe observe the previous run's marker instead of zero.
+const dirtyProbeAsm = `
+	movi rbx, 0x6000
+	load rax, [rbx]
+	movi rcx, 0x4000
+	store [rcx], rax     ; ret = previous marker (must be 0)
+	movi rax, 0xD1D1
+	store [rbx], rax     ; dirty the shell
+	movi rdi, 0
+	out 0x00, rdi
+	hlt
+`
+
+// TestAsyncReleaseDoesNoZeroingOnCallerPath pins the Wasp+CA contract
+// the seed violated: release must neither zero the shell nor park it
+// clean — the dirty shell goes to the cleaner's queue, and the zeroing
+// observably happens on the cleaner lane (here driven manually so no
+// background goroutine can race the observation).
+func TestAsyncReleaseDoesNoZeroingOnCallerPath(t *testing.T) {
+	w := New(WithAsyncClean(true))
+	c := w.Cleaner()
+	if c == nil {
+		t.Fatal("async runtime has no cleaner")
+	}
+	c.SetDriven(true) // no background drain: only explicit scrubs below
+	defer c.SetDriven(false)
+
+	img := guest.MinimalHalt()
+	if _, err := w.Run(img, RunConfig{}, cycles.NewClock()); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.PoolTotal(); n != 0 {
+		t.Fatalf("release parked %d shell(s) itself; must defer to the cleaner", n)
+	}
+	if p := c.Pending(); p != 1 {
+		t.Fatalf("cleaner pending = %d, want 1", p)
+	}
+	if n := c.Cleaned(); n != 0 {
+		t.Fatalf("cleaned = %d before any drain; release zeroed on the caller's path", n)
+	}
+	// The queued shell is still dirty: the boot wrote page tables, so
+	// unzeroed guest memory contains nonzero bytes.
+	c.mu.Lock()
+	s := c.queue[0].s
+	c.mu.Unlock()
+	if !s.dirty {
+		t.Fatal("queued shell marked clean")
+	}
+	dirtyBytes := false
+	for _, b := range s.ctx.Mem {
+		if b != 0 {
+			dirtyBytes = true
+			break
+		}
+	}
+	if !dirtyBytes {
+		t.Fatal("queued shell memory already zeroed; cleaning happened on the release path")
+	}
+
+	// Draining the cleaner lane scrubs and parks it.
+	if n := c.Drain(); n != 1 {
+		t.Fatalf("drained %d, want 1", n)
+	}
+	if n := w.PoolTotal(); n != 1 {
+		t.Fatalf("pool total = %d after drain, want 1", n)
+	}
+	if n := c.Cleaned(); n != 1 {
+		t.Fatalf("cleaned = %d, want 1", n)
+	}
+}
+
+// TestNoDirtyShellAcquiredUnderAsyncClean is the -race stress test for
+// the cleaner: many goroutines hammer Run while shells cycle through
+// the dirty queue, the background drain goroutine, and inline reclaims;
+// no run may ever observe another run's marker.
+func TestNoDirtyShellAcquiredUnderAsyncClean(t *testing.T) {
+	const (
+		goroutines = 8
+		runsEach   = 40
+	)
+	w := New(WithAsyncClean(true))
+	img := guest.MustFromAsm("dirty-probe", guest.WrapLongMode(dirtyProbeAsm))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < runsEach; i++ {
+				res, err := w.Run(img, RunConfig{RetBytes: 8}, cycles.NewClock())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if marker := fromLE64(res.Ret); marker != 0 {
+					errs <- fmt.Errorf("run %d acquired a dirty shell: marker %#x", i, marker)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	c := w.Cleaner()
+	if c.Cleaned() == 0 {
+		t.Fatal("no shell ever passed through the cleaner")
+	}
+	if c.Enqueued() != uint64(goroutines*runsEach) {
+		t.Fatalf("enqueued = %d, want %d (every release must go through the cleaner)",
+			c.Enqueued(), goroutines*runsEach)
+	}
+}
+
+// TestPoolCapacityBound is the unbounded-growth regression test: a
+// burst can no longer retain more shells than the per-class cap.
+func TestPoolCapacityBound(t *testing.T) {
+	w := New(WithPoolPolicy(PoolPolicy{MaxPerClass: 4}))
+	img := guest.MinimalHalt()
+	mem := img.MemBytes()
+
+	// Prewarm clamps at the bound.
+	if added := w.Prewarm(mem, 10); added != 4 {
+		t.Fatalf("prewarm added %d, want 4 (cap)", added)
+	}
+	if n := w.PoolTotal(); n != 4 {
+		t.Fatalf("pool total = %d after prewarm, want 4", n)
+	}
+
+	// A concurrent burst of 12 runs must end at or below the cap.
+	const goroutines = 12
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 4; i++ {
+				if _, err := w.Run(img, RunConfig{}, cycles.NewClock()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := w.PoolTotal(); n > 4 {
+		t.Fatalf("pool grew to %d shells, cap is 4", n)
+	}
+}
+
+// TestAsyncBacklogAndParkBounds pins both async-side bounds
+// deterministically: the dirty backlog caps at twice the class
+// capacity, and draining parks at most MaxPerClass shells.
+func TestAsyncBacklogAndParkBounds(t *testing.T) {
+	w := New(WithAsyncClean(true), WithPoolPolicy(PoolPolicy{MaxPerClass: 2}))
+	c := w.Cleaner()
+	c.SetDriven(true)
+	defer c.SetDriven(false)
+
+	const mem = 64 << 10
+	for i := 0; i < 5; i++ {
+		w.release(vmm.CreateOn(vmm.KVM{}, mem, cycles.NewClock()))
+	}
+	// Backlog cap = 2*MaxPerClass = 4: the fifth shell is dropped.
+	if p := c.Pending(); p != 4 {
+		t.Fatalf("pending = %d, want 4 (backlog cap)", p)
+	}
+	if d := c.Dropped(); d != 1 {
+		t.Fatalf("dropped = %d at enqueue, want 1", d)
+	}
+	if n := c.Drain(); n != 4 {
+		t.Fatalf("drained %d, want 4", n)
+	}
+	if n := w.PoolTotal(); n != 2 {
+		t.Fatalf("pool total = %d after drain, want 2 (class cap)", n)
+	}
+	if d := c.Dropped(); d != 3 {
+		t.Fatalf("dropped = %d total, want 3 (1 backlog + 2 park overflow)", d)
+	}
+}
+
+// TestPoolPolicySelfSizing drives the telemetry-fed sizing directly:
+// bursts raise the warm target and prewarm shells; sustained idle
+// decays the target and releases surplus shells, flooring at one.
+func TestPoolPolicySelfSizing(t *testing.T) {
+	w := New(WithPoolPolicy(PoolPolicy{MaxPerClass: 8, GrowDepth: 2, GrowBatch: 8, ShrinkAfter: 3}))
+	const mem = 64 << 10
+
+	w.ObserveLoad(mem, 6, 1000)
+	st := w.PoolStatsFor(mem)
+	if st.Target != 6 || st.Cached != 6 {
+		t.Fatalf("after burst of 6: target/cached = %d/%d, want 6/6", st.Target, st.Cached)
+	}
+	if st.SvcEWMA == 0 {
+		t.Fatal("service-time telemetry not recorded")
+	}
+
+	// A deeper burst clamps at the class cap.
+	w.ObserveLoad(mem, 100, 1000)
+	st = w.PoolStatsFor(mem)
+	if st.Target != 8 || st.Cached != 8 {
+		t.Fatalf("after deep burst: target/cached = %d/%d, want 8/8 (cap)", st.Target, st.Cached)
+	}
+
+	// Three consecutive uncontended completions shrink by one.
+	for i := 0; i < 3; i++ {
+		w.ObserveLoad(mem, 0, 500)
+	}
+	st = w.PoolStatsFor(mem)
+	if st.Target != 7 || st.Cached != 7 {
+		t.Fatalf("after idle streak: target/cached = %d/%d, want 7/7", st.Target, st.Cached)
+	}
+
+	// Sustained idling floors at one warm shell.
+	for i := 0; i < 3*40; i++ {
+		w.ObserveLoad(mem, 0, 500)
+	}
+	st = w.PoolStatsFor(mem)
+	if st.Target != 0 || st.Cached != 1 {
+		t.Fatalf("after sustained idle: target/cached = %d/%d, want 0/1 (floor)", st.Target, st.Cached)
+	}
+}

@@ -18,12 +18,72 @@ import (
 //
 //   - shellPools: cached shells, sharded by memory size class with one
 //     mutex per shard. The critical section is a slice push/pop;
-//     cleaning and KVM work happen outside it.
+//     cleaning and KVM work happen outside it. Each size class is
+//     bounded by PoolPolicy.MaxPerClass and carries self-sizing state
+//     (warm target, idle streak, service-time EWMA) fed by scheduler
+//     telemetry through Wasp.ObserveLoad.
 //   - snapRegistry: image-name → snapshot map under a sync.RWMutex.
 //     Snapshots are written once per image (capture) and read on every
 //     warm run, so the read path takes only a shared lock.
 //   - cowRegistry: image-bound COW shells (§7.2), sharded by image
 //     name with one mutex per shard.
+
+// PoolPolicy bounds and self-sizes the shell pools. The capacity bound
+// fixes the seed's unbounded-growth bug (a burst of N concurrent runs
+// used to retain N shells per size class forever); the grow/shrink
+// knobs implement the ROADMAP's prewarm/sizing item: queue-depth
+// telemetry from the scheduler grows a class's warm pool under a burst,
+// and sustained idle time shrinks it back.
+type PoolPolicy struct {
+	// MaxPerClass caps cached shells per memory size class. A release
+	// (or background clean) that would exceed it drops the shell for
+	// the host kernel to reclaim.
+	MaxPerClass int
+	// GrowDepth is the queue depth observed at submit that marks a
+	// burst: a completed ticket that waited behind at least this many
+	// others raises the class's warm target toward the observed depth.
+	GrowDepth int
+	// GrowBatch caps how many shells one burst observation prewarms,
+	// bounding the provisioning work done on a completion path.
+	GrowBatch int
+	// ShrinkAfter is the number of consecutive uncontended completions
+	// (depth 0) after which the warm target decays by one and a surplus
+	// cached shell is released to the host. The last warm shell per
+	// class is never shrunk away.
+	ShrinkAfter int
+}
+
+// DefaultPoolPolicy is the policy applied when WithPoolPolicy is not
+// given: a generous capacity bound with burst-reactive sizing.
+var DefaultPoolPolicy = PoolPolicy{MaxPerClass: 64, GrowDepth: 4, GrowBatch: 4, ShrinkAfter: 64}
+
+func (p PoolPolicy) withDefaults() PoolPolicy {
+	d := DefaultPoolPolicy
+	if p.MaxPerClass <= 0 {
+		p.MaxPerClass = d.MaxPerClass
+	}
+	if p.GrowDepth <= 0 {
+		p.GrowDepth = d.GrowDepth
+	}
+	if p.GrowBatch <= 0 {
+		p.GrowBatch = d.GrowBatch
+	}
+	if p.ShrinkAfter <= 0 {
+		p.ShrinkAfter = d.ShrinkAfter
+	}
+	return p
+}
+
+// PoolStats is a snapshot of one size class's pool state.
+type PoolStats struct {
+	// Cached is the number of warm shells currently parked.
+	Cached int
+	// Target is the warm floor the sizing policy currently wants.
+	Target int
+	// SvcEWMA is the smoothed service time (cycles) of runs in this
+	// class, from scheduler telemetry.
+	SvcEWMA uint64
+}
 
 // poolShardCount is the number of independently locked shell-pool
 // shards. A power of two so the hash reduces with a shift.
@@ -33,12 +93,21 @@ const poolShardCount = 16
 // one shard; distinct size classes on different shards proceed fully in
 // parallel, and even classes that collide only contend on a push/pop.
 type shellPools struct {
+	policy PoolPolicy
 	shards [poolShardCount]poolShard
 }
 
 type poolShard struct {
 	mu    sync.Mutex
 	bySize map[int][]*shell
+	sizing map[int]*classSizing
+}
+
+// classSizing is the per-size-class self-sizing state ObserveLoad feeds.
+type classSizing struct {
+	target  int    // warm-shell floor the policy currently wants
+	idle    int    // consecutive uncontended completions
+	svcEWMA uint64 // smoothed service time of this class's runs
 }
 
 // shardFor hashes a memory size class onto a shard. Sizes are
@@ -65,15 +134,98 @@ func (p *shellPools) take(memBytes int) *shell {
 	return s
 }
 
-// put parks a shell for its size class.
-func (p *shellPools) put(memBytes int, s *shell) {
+// put parks a shell for its size class, unless the class is at its
+// capacity bound. It reports whether the shell was parked; a false
+// return means the caller should let the host reclaim it.
+func (p *shellPools) put(memBytes int, s *shell) bool {
 	sh := p.shardFor(memBytes)
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.bySize[memBytes]) >= p.policy.MaxPerClass {
+		return false
+	}
 	if sh.bySize == nil {
 		sh.bySize = make(map[int][]*shell)
 	}
 	sh.bySize[memBytes] = append(sh.bySize[memBytes], s)
-	sh.mu.Unlock()
+	return true
+}
+
+// observe folds one completed run's scheduler telemetry into the size
+// class's sizing state. Under a burst it returns the cached count the
+// caller should prewarm the class up to (0 means no growth); under a
+// sustained idle streak it releases one surplus shell right here, under
+// the shard lock, so a concurrent acquire can never race the class
+// below its one-warm-shell floor.
+func (p *shellPools) observe(memBytes, depth int, svc uint64) (wantCached int) {
+	sh := p.shardFor(memBytes)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.sizing == nil {
+		sh.sizing = make(map[int]*classSizing)
+	}
+	st := sh.sizing[memBytes]
+	if st == nil {
+		st = &classSizing{}
+		sh.sizing[memBytes] = st
+	}
+	if st.svcEWMA == 0 {
+		st.svcEWMA = svc
+	} else {
+		st.svcEWMA = (7*st.svcEWMA + svc) / 8
+	}
+	cached := len(sh.bySize[memBytes])
+	switch {
+	case depth >= p.policy.GrowDepth:
+		st.idle = 0
+		want := depth
+		if want > p.policy.MaxPerClass {
+			want = p.policy.MaxPerClass
+		}
+		if want > st.target {
+			st.target = want
+		}
+		if st.target > cached {
+			wantCached = cached + p.policy.GrowBatch
+			if wantCached > st.target {
+				wantCached = st.target
+			}
+		}
+	case depth == 0:
+		st.idle++
+		if st.idle >= p.policy.ShrinkAfter {
+			st.idle = 0
+			if st.target > 0 {
+				st.target--
+			}
+			floor := st.target
+			if floor < 1 {
+				floor = 1 // keep the last warm shell
+			}
+			if cached > floor {
+				// Drop one surplus shell; the host reclaims it.
+				pool := sh.bySize[memBytes]
+				pool[cached-1] = nil
+				sh.bySize[memBytes] = pool[:cached-1]
+			}
+		}
+	default:
+		st.idle = 0
+	}
+	return wantCached
+}
+
+// stats snapshots one size class's pool state.
+func (p *shellPools) stats(memBytes int) PoolStats {
+	sh := p.shardFor(memBytes)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := PoolStats{Cached: len(sh.bySize[memBytes])}
+	if st := sh.sizing[memBytes]; st != nil {
+		out.Target = st.target
+		out.SvcEWMA = st.svcEWMA
+	}
+	return out
 }
 
 // size reports the number of cached shells for one size class.

@@ -12,8 +12,15 @@
 //   - Pooling/caching: returned contexts are cleaned (zeroed, preventing
 //     information leakage) and cached as "shells"; acquiring a cached
 //     shell costs pool bookkeeping instead of KVM_CREATE_VM. Cleaning is
-//     charged on the critical path (Wasp+C) or performed by a background
-//     cleaner off the measured path (Wasp+CA).
+//     charged on the critical path (Wasp+C) or handed to a real
+//     background cleaner (Wasp+CA): release parks the dirty shell on
+//     the Cleaner's queue and the zeroing happens on a background
+//     goroutine, an idle scheduler worker, or a dedicated virtual
+//     cleaner core — never on the caller's path (see cleaner.go).
+//     Pools are bounded and self-sizing per size class: PoolPolicy caps
+//     each class, and scheduler queue-depth/service-time telemetry
+//     (ObserveLoad) prewarms shells under bursts and shrinks the warm
+//     set when a class goes idle (see pool.go).
 //   - Snapshotting: a virtine may capture its state after initialization;
 //     subsequent executions of the same image restore the snapshot (one
 //     memcpy) and resume at the snapshot point, skipping boot and runtime
@@ -22,6 +29,7 @@ package wasp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cpu"
 	"repro/internal/cycles"
@@ -37,12 +45,15 @@ type Wasp struct {
 	pools     shellPools
 	snapshots snapRegistry
 	cowShells cowRegistry
+	cleaner   *Cleaner // non-nil iff pooling && asyncClean
 
 	pooling    bool
 	asyncClean bool
 	snapEnable bool
 	cow        bool
 	platform   vmm.Platform
+
+	poolDrops atomic.Uint64 // sync-clean shells dropped at the capacity bound
 }
 
 type shell struct {
@@ -65,9 +76,17 @@ type Option func(*Wasp)
 // in the default configuration.
 func WithPooling(on bool) Option { return func(w *Wasp) { w.pooling = on } }
 
-// WithAsyncClean moves shell cleaning off the critical path, as a
-// background thread would (the Wasp+CA configuration of Fig 8).
+// WithAsyncClean moves shell cleaning off the critical path onto the
+// background Cleaner (the Wasp+CA configuration of Fig 8): release
+// performs no zeroing at all, and dirty shells are scrubbed by the
+// cleaner's drain goroutine, idle scheduler workers, or the virtual
+// cleaner core.
 func WithAsyncClean(on bool) Option { return func(w *Wasp) { w.asyncClean = on } }
+
+// WithPoolPolicy bounds and self-sizes the shell pools; zero fields
+// take DefaultPoolPolicy values. Without this option the default policy
+// applies — pools are always capacity-bounded.
+func WithPoolPolicy(p PoolPolicy) Option { return func(w *Wasp) { w.pools.policy = p } }
 
 // WithSnapshotting enables the snapshot/restore fast path (§5.2). Images
 // still opt in per run via RunConfig.Snapshot.
@@ -95,17 +114,26 @@ func New(opts ...Option) *Wasp {
 	for _, o := range opts {
 		o(w)
 	}
+	w.pools.policy = w.pools.policy.withDefaults()
+	if w.pooling && w.asyncClean {
+		w.cleaner = newCleaner(w)
+	}
 	return w
 }
 
 // acquire provisions a virtual context of the given memory size: a cached
 // shell when the pool has one (Fig 6 path D), a cold KVM context
 // otherwise (path C). Cleaning of a dirty shell is charged here, on the
-// critical path, unless async cleaning is on (in which case pooled shells
-// are always already clean).
+// critical path, unless async cleaning is on — pooled shells are always
+// already clean under Wasp+CA, and a pool miss with cleaning still in
+// flight is bridged by the cleaner (reclaim) instead of a cold create.
 func (w *Wasp) acquire(memBytes int, clk *cycles.Clock) *vmm.Context {
 	if w.pooling {
-		if s := w.pools.take(memBytes); s != nil {
+		s := w.pools.take(memBytes)
+		if s == nil && w.cleaner != nil {
+			s = w.cleaner.reclaim(memBytes)
+		}
+		if s != nil {
 			clk.Advance(cycles.PoolAcquire)
 			s.ctx.Clock = clk
 			s.ctx.CPU.Clock = clk
@@ -119,19 +147,24 @@ func (w *Wasp) acquire(memBytes int, clk *cycles.Clock) *vmm.Context {
 	return vmm.CreateOn(w.platform, memBytes, clk)
 }
 
-// release returns a context to the pool. With async cleaning the zeroing
-// happens silently (off the measured path); otherwise the shell is parked
-// dirty and pays for cleaning when next acquired.
+// release returns a context to the pool. Under async cleaning (Wasp+CA)
+// no zeroing happens here: the dirty shell goes to the Cleaner's queue
+// and is scrubbed off the release path. Otherwise (Wasp+C) the shell is
+// parked dirty and pays for cleaning when next acquired. Either way the
+// size class's capacity bound holds; surplus shells are dropped for the
+// host to reclaim.
 func (w *Wasp) release(ctx *vmm.Context) {
 	if !w.pooling {
 		return // dropped; host kernel reclaims it
 	}
 	s := &shell{ctx: ctx, dirty: true}
-	if w.asyncClean {
-		ctx.CleanSilent()
-		s.dirty = false
+	if w.cleaner != nil {
+		w.cleaner.enqueue(len(ctx.Mem), s)
+		return
 	}
-	w.pools.put(len(ctx.Mem), s)
+	if !w.pools.put(len(ctx.Mem), s) {
+		w.poolDrops.Add(1)
+	}
 }
 
 // takeCOWShell claims the image-bound context, if one is parked.
@@ -156,6 +189,62 @@ func (w *Wasp) PoolSize(memBytes int) int {
 // PoolTotal reports the number of cached shells across all size classes.
 func (w *Wasp) PoolTotal() int {
 	return w.pools.total()
+}
+
+// PoolStatsFor snapshots one size class's pool state (cached count,
+// warm target, smoothed service time).
+func (w *Wasp) PoolStatsFor(memBytes int) PoolStats {
+	return w.pools.stats(memBytes)
+}
+
+// PoolDropped reports shells dropped at the capacity bound on the
+// synchronous release path. Async-clean drops are reported by
+// Cleaner.Dropped.
+func (w *Wasp) PoolDropped() uint64 { return w.poolDrops.Load() }
+
+// Cleaner exposes the background cleaner, or nil when cleaning is
+// synchronous (Wasp+C) or pooling is off.
+func (w *Wasp) Cleaner() *Cleaner { return w.cleaner }
+
+// AsyncClean reports whether the runtime cleans shells asynchronously.
+func (w *Wasp) AsyncClean() bool { return w.cleaner != nil }
+
+// Prewarm tops a size class up to n cached clean shells (clamped to
+// the class's capacity) ahead of demand; classes already at or above n
+// are left alone. Creation cost lands on a private clock: prewarming is
+// provisioning work off any measured request path. It reports how many
+// shells were added.
+func (w *Wasp) Prewarm(memBytes, n int) int {
+	if !w.pooling {
+		return 0
+	}
+	if max := w.pools.policy.MaxPerClass; n > max {
+		n = max
+	}
+	added := 0
+	for w.pools.size(memBytes) < n {
+		ctx := vmm.CreateOn(w.platform, memBytes, cycles.NewClock())
+		if !w.pools.put(memBytes, &shell{ctx: ctx}) {
+			break
+		}
+		added++
+	}
+	return added
+}
+
+// ObserveLoad feeds scheduler telemetry for one completed run into the
+// pool-sizing policy: a deep queue at submit raises the size class's
+// warm target and prewarms shells; a sustained idle streak decays the
+// target and releases a surplus cached shell to the host (handled
+// inside observe, under the shard lock). The unified scheduler calls
+// this once per completed image ticket.
+func (w *Wasp) ObserveLoad(memBytes, depth int, svcCycles uint64) {
+	if !w.pooling {
+		return
+	}
+	if wantCached := w.pools.observe(memBytes, depth, svcCycles); wantCached > 0 {
+		w.Prewarm(memBytes, wantCached)
+	}
 }
 
 // HasSnapshot reports whether an image has a stored snapshot.
