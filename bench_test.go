@@ -12,6 +12,7 @@
 package virtines_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/aes"
@@ -639,6 +640,49 @@ sl:
 			b.ReportMetric(cycles.Micros(s.Makespan())/float64(b.N), "vmakespan-us/op")
 			b.ReportMetric(float64(s.Completed()), "completed")
 		})
+	}
+}
+
+// BenchmarkSubmitBatch isolates the scheduler's submission-path
+// overhead: a burst of B trivial tasks submitted one Submit at a time
+// (B lock acquisitions, B ticket allocations, B wakes) versus one
+// SubmitBatch (one lock acquisition, one ticket slab, one wake). The
+// timed region is the submission only — service runs untimed between
+// iterations — so ns/op divided by the burst size is the per-ticket
+// dispatch overhead; batch must come out measurably lower at bursts
+// >= 64.
+func BenchmarkSubmitBatch(b *testing.B) {
+	task := func(clk *cycles.Clock) (*wasp.Result, error) { return nil, nil }
+	for _, burst := range []int{64, 256} {
+		for _, mode := range []string{"single", "batch"} {
+			b.Run(fmt.Sprintf("%s/burst=%d", mode, burst), func(b *testing.B) {
+				w := wasp.New()
+				s := sched.New(w, 4, sched.WithQueueCap(4*burst))
+				defer s.Close()
+				reqs := make([]sched.Request, burst)
+				for j := range reqs {
+					reqs[j] = sched.Request{Fn: task}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var tickets []*sched.Ticket
+					if mode == "batch" {
+						tickets = s.SubmitBatch(reqs)
+					} else {
+						tickets = make([]*sched.Ticket, burst)
+						for j := range tickets {
+							tickets[j] = s.SubmitFn(task)
+						}
+					}
+					b.StopTimer()
+					if err := sched.WaitAll(tickets...); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*burst), "ns/ticket")
+			})
+		}
 	}
 }
 

@@ -346,3 +346,35 @@ func TestWaspCAClaims(t *testing.T) {
 		}
 	}
 }
+
+func TestAdmissionFairnessClaims(t *testing.T) {
+	tab, err := AdmissionFairness(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acceptance: Jain >= 0.9 for the noisy-neighbor mix under soft
+	// weights, with the unfair FIFO baseline clearly below it in the
+	// same table.
+	fifoJain := cellF(t, tab, findRow(t, tab, "fifo/ALL"), 6)
+	fairJain := cellF(t, tab, findRow(t, tab, "weighted/ALL"), 6)
+	capJain := cellF(t, tab, findRow(t, tab, "hardcap/ALL"), 6)
+	if fairJain < 0.9 {
+		t.Fatalf("weighted Jain = %v, want >= 0.9", fairJain)
+	}
+	if capJain < 0.9 {
+		t.Fatalf("hardcap Jain = %v, want >= 0.9", capJain)
+	}
+	if fifoJain >= fairJain-0.1 {
+		t.Fatalf("FIFO Jain %v not clearly below weighted %v", fifoJain, fairJain)
+	}
+	// Cold tenants: weighted p99 queueing collapses vs the FIFO baseline.
+	fifoCold := cellF(t, tab, findRow(t, tab, "fifo/svc-a"), 5)
+	fairCold := cellF(t, tab, findRow(t, tab, "weighted/svc-a"), 5)
+	if fairCold*10 > fifoCold {
+		t.Fatalf("weighted cold p99 %v ms not an order below FIFO %v ms", fairCold, fifoCold)
+	}
+	// The hog keeps its full entitlement under weights (work conserving).
+	if share := cellF(t, tab, findRow(t, tab, "weighted/hog"), 6); share < 0.99 {
+		t.Fatalf("hog share under weights = %v, want ~1 (work conserving)", share)
+	}
+}

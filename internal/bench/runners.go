@@ -581,6 +581,58 @@ func Fig15(trials int) (*Table, error) {
 	return t, nil
 }
 
+// AdmissionFairness is the multi-tenant fairness experiment over the
+// scheduler's admission layer: the noisy-neighbor mix (one hog at ~3x
+// node capacity, four cold tenants) dispatched under plain FIFO, equal
+// soft weights, and a hard in-flight cap. Reported per tenant: request
+// counts, completions within the arrival horizon, p50/p99 queueing
+// delay, and the entitlement-satisfaction share; per config, Jain's
+// fairness index over those shares (internal/stats.Jain). The FIFO
+// baseline prints alongside so the unfairness it permits is visible in
+// the same table.
+func AdmissionFairness(trials int) (*Table, error) {
+	horizon := clampTrials(trials, 2, 6)
+	t := &Table{
+		ID:    "admission",
+		Title: "Multi-tenant admission control: noisy-neighbor fairness (virtual scheduler)",
+		Header: []string{"config/image", "weight", "reqs", "done@W",
+			"p50-q-ms", "p99-q-ms", "share"},
+	}
+	configs := []struct {
+		name string
+		adm  *sched.Admission
+	}{
+		{"fifo", nil},
+		{"weighted", &sched.Admission{}},
+		{"hardcap", &sched.Admission{MaxInFlight: 2}},
+	}
+	var fifoJain, weightedJain float64
+	for _, cfg := range configs {
+		rep, err := serverless.RunNoisyNeighbor(wasp.New(), cfg.name, 4, horizon, cfg.adm, 99)
+		if err != nil {
+			return nil, err
+		}
+		totalReqs, totalDone := 0, 0
+		for _, tf := range rep.Tenants {
+			totalReqs += tf.Requests
+			totalDone += tf.DoneByHorizon
+			t.AddRow(cfg.name+"/"+tf.Image, di(tf.Weight), di(tf.Requests), di(tf.DoneByHorizon),
+				f2(tf.P50QueueMs), f2(tf.P99QueueMs), f2(tf.Share))
+		}
+		t.AddRow(cfg.name+"/ALL", "", di(totalReqs), di(totalDone), "", "", f2(rep.Jain))
+		switch cfg.name {
+		case "fifo":
+			fifoJain = rep.Jain
+		case "weighted":
+			weightedJain = rep.Jain
+		}
+	}
+	t.Note("share: service cycles received over min(demand, weighted fair share) within the horizon; ALL rows hold Jain's index over shares")
+	t.Note("jain: fifo %.3f vs weighted %.3f — weighted per-image queues deliver every tenant its entitlement", fifoJain, weightedJain)
+	t.Note("hardcap (2-in-flight) also protects cold tenants but idles capacity the hog could use")
+	return t, nil
+}
+
 // Fig64Speed is the §6.4 OpenSSL speed experiment (reported in prose in
 // the paper; regenerated here as a table).
 func Fig64Speed(trials int) (*Table, error) {
@@ -658,8 +710,8 @@ func WaspCA(trials int) (*Table, error) {
 	trials = clampTrials(trials, 64, 4000)
 	img := guest.MinimalHalt()
 	t := &Table{
-		ID:    "wasp-ca",
-		Title: "Wasp+C vs Wasp+CA: shell cleaning off the critical path (real scheduler)",
+		ID:     "wasp-ca",
+		Title:  "Wasp+C vs Wasp+CA: shell cleaning off the critical path (real scheduler)",
 		Header: []string{"config", "mean-vcycles/run", "vus/run", "pool-total", "cleaned-async", "reclaims", "dropped"},
 	}
 	for _, mode := range []struct {

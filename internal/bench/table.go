@@ -106,6 +106,7 @@ var Registry = []struct {
 	{"fig15", "Fig 15: serverless virtines vs OpenWhisk", Fig15},
 	{"sched", "Scheduler saturation: Run throughput vs workers", SchedSaturation},
 	{"wasp-ca", "Wasp+C vs Wasp+CA: async cleaning off the critical path", WaspCA},
+	{"admission", "Multi-tenant admission control: noisy-neighbor fairness", AdmissionFairness},
 }
 
 // Lookup finds a runner by experiment ID.

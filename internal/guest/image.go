@@ -120,6 +120,16 @@ func (im *Image) MemBytes() int {
 	return n
 }
 
+// WithName returns a copy of the image under a new name. Snapshots,
+// COW shells, and the scheduler's per-image admission and pool-sizing
+// telemetry all key on the name, so a renamed copy is an isolated
+// tenant of the same binary.
+func (im *Image) WithName(name string) *Image {
+	out := *im
+	out.Name = name
+	return &out
+}
+
 // WithPad returns a copy of the image padded with extra zero bytes, for
 // the Fig 12 image-size sweep. The copy gets a distinct name so it takes
 // its own snapshot.

@@ -13,7 +13,9 @@ package httpd
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -201,15 +203,21 @@ func (s *FileServer) Serve(req []byte, clk *cycles.Clock) (*Response, error) {
 // fully in parallel. The returned ticket's result carries the raw
 // exchange; parse it with ParseTicket.
 func (s *FileServer) Submit(sc *sched.Scheduler, req []byte) *sched.Ticket {
+	return sc.Submit(s.image, s.runConfig(req))
+}
+
+// runConfig builds one request's RunConfig over a request-private
+// environment.
+func (s *FileServer) runConfig(req []byte) wasp.RunConfig {
 	env := s.newEnv()
 	env.NetIn = append([]byte(nil), req...)
-	return sc.Submit(s.image, wasp.RunConfig{
+	return wasp.RunConfig{
 		Policy:   s.policy,
 		Env:      env,
 		Args:     vcc.MarshalArgs(0),
 		RetBytes: vcc.RetSize,
 		Snapshot: s.Snapshot,
-	})
+	}
 }
 
 // ParseTicket waits for a submitted request and parses its response.
@@ -236,10 +244,13 @@ func (s *FileServer) ServeMany(reqs [][]byte, workers int) ([]*Response, error) 
 		need = len(reqs)
 	}
 	s.W.Prewarm(s.image.MemBytes(), need)
-	tickets := make([]*sched.Ticket, len(reqs))
+	// The whole burst goes down as one batch: one ticket slab, one
+	// queue-lock acquisition, one worker wake.
+	batch := make([]sched.Request, len(reqs))
 	for i, req := range reqs {
-		tickets[i] = s.Submit(sc, req)
+		batch[i] = sched.Request{Img: s.image, Cfg: s.runConfig(req)}
 	}
+	tickets := sc.SubmitBatch(batch)
 	out := make([]*Response, len(tickets))
 	for i, t := range tickets {
 		resp, err := ParseTicket(t)
@@ -247,6 +258,68 @@ func (s *FileServer) ServeMany(reqs [][]byte, workers int) ([]*Response, error) 
 			return nil, err
 		}
 		out[i] = resp
+	}
+	return out, nil
+}
+
+// ServeTenants is the multi-tenant request path: each tenant's requests
+// run against a tenant-private clone of the handler image (its own
+// snapshot, shell telemetry, and admission identity), all dispatched
+// through one scheduler as a single batch under the given admission
+// policy. With soft weights a hot tenant's burst cannot starve the
+// others of workers; with a hard cap in RejectOverflow mode a tenant's
+// excess requests fail fast — those slots come back nil in the
+// tenant's response slice (every other error aborts). Responses are
+// returned per tenant, in each tenant's request order.
+func (s *FileServer) ServeTenants(tenants map[string][][]byte, workers int, adm *sched.Admission) (map[string][]*Response, error) {
+	var opts []sched.Option
+	if adm != nil {
+		opts = append(opts, sched.WithAdmission(*adm))
+	}
+	sc := sched.New(s.W, workers, opts...)
+	defer sc.Close()
+
+	names := make([]string, 0, len(tenants))
+	total := 0
+	for name, reqs := range tenants {
+		names = append(names, name)
+		total += len(reqs)
+	}
+	sort.Strings(names)
+	need := workers
+	if total < need {
+		need = total
+	}
+	s.W.Prewarm(s.image.MemBytes(), need)
+
+	type slot struct {
+		tenant string
+		idx    int
+	}
+	batch := make([]sched.Request, 0, total)
+	slots := make([]slot, 0, total)
+	for _, name := range names {
+		img := s.image.WithName(s.image.Name + "@" + name)
+		for i, req := range tenants[name] {
+			batch = append(batch, sched.Request{Img: img, Cfg: s.runConfig(req)})
+			slots = append(slots, slot{name, i})
+		}
+	}
+	tickets := sc.SubmitBatch(batch)
+
+	out := make(map[string][]*Response, len(tenants))
+	for name, reqs := range tenants {
+		out[name] = make([]*Response, len(reqs))
+	}
+	for i, t := range tickets {
+		resp, err := ParseTicket(t)
+		if err != nil {
+			if errors.Is(err, sched.ErrAdmission) {
+				continue // rejected by the tenant's quota: slot stays nil
+			}
+			return nil, err
+		}
+		out[slots[i].tenant][slots[i].idx] = resp
 	}
 	return out, nil
 }

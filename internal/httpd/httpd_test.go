@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cycles"
 	"repro/internal/hypercall"
+	"repro/internal/sched"
 	"repro/internal/vcc"
 	"repro/internal/wasp"
 )
@@ -310,5 +311,92 @@ func TestFileServerFailedReadReturns500(t *testing.T) {
 	}
 	if bytes.Contains(res.NetOut, []byte("200 OK")) {
 		t.Fatalf("partial 200 leaked into the wire bytes: %q", res.NetOut)
+	}
+}
+
+// TestServeTenants drives the multi-tenant path: per-tenant image
+// clones under one weighted-admission scheduler, every tenant's
+// requests answered correctly and in order.
+func TestServeTenants(t *testing.T) {
+	w := wasp.New()
+	s, err := NewFileServer(w, testFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Snapshot = true
+	tenants := map[string][][]byte{}
+	for _, name := range []string{"hot", "cold-a", "cold-b"} {
+		n := 3
+		if name == "hot" {
+			n = 12
+		}
+		for i := 0; i < n; i++ {
+			req := Request("/index.html")
+			if i%3 == 2 {
+				req = Request("/missing")
+			}
+			tenants[name] = append(tenants[name], req)
+		}
+	}
+	out, err := s.ServeTenants(tenants, 4, &sched.Admission{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, reqs := range tenants {
+		if len(out[name]) != len(reqs) {
+			t.Fatalf("%s: %d responses for %d requests", name, len(out[name]), len(reqs))
+		}
+		for i, resp := range out[name] {
+			if resp == nil {
+				t.Fatalf("%s request %d: missing response", name, i)
+			}
+			want := 200
+			if i%3 == 2 {
+				want = 404
+			}
+			if resp.Status != want {
+				t.Fatalf("%s request %d: status %d, want %d", name, i, resp.Status, want)
+			}
+		}
+	}
+}
+
+// TestServeTenantsHardCapRejects: a tenant over its hard quota in
+// RejectOverflow mode gets nil response slots, and the other tenants
+// are unaffected.
+func TestServeTenantsHardCapRejects(t *testing.T) {
+	w := wasp.New()
+	s, err := NewFileServer(w, testFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := map[string][][]byte{}
+	for i := 0; i < 24; i++ {
+		tenants["hog"] = append(tenants["hog"], Request("/index.html"))
+	}
+	tenants["quiet"] = [][]byte{Request("/index.html")}
+	out, err := s.ServeTenants(tenants, 2, &sched.Admission{MaxInFlight: 2, RejectOverflow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["quiet"][0] == nil || out["quiet"][0].Status != 200 {
+		t.Fatalf("quiet tenant response = %+v", out["quiet"][0])
+	}
+	served, rejected := 0, 0
+	for _, resp := range out["hog"] {
+		if resp == nil {
+			rejected++
+		} else {
+			served++
+			if resp.Status != 200 {
+				t.Fatalf("served hog response status %d", resp.Status)
+			}
+		}
+	}
+	if served == 0 {
+		t.Fatal("hard cap served nothing for the hog tenant")
+	}
+	if rejected == 0 {
+		t.Fatal("hard cap in reject mode rejected nothing despite a 24-deep burst over cap 2")
 	}
 }

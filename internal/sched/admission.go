@@ -1,0 +1,346 @@
+package sched
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// ErrAdmission is the error carried by tickets a hard per-image quota
+// rejected at submission.
+var ErrAdmission = errors.New("sched: per-image admission limit")
+
+// Admission is the per-image admission-control policy (the multi-tenant
+// fairness layer). Attaching one via WithAdmission switches dispatch
+// from a single FIFO to per-image queues:
+//
+//   - Hard cap: MaxInFlight bounds each image's concurrently admitted
+//     work. With RejectOverflow the excess submission fails immediately
+//     with ErrAdmission; without it the ticket is accepted but deferred —
+//     it stays parked in its image's queue until the image's in-flight
+//     count drops below the cap.
+//   - Soft weights: workers pick the next ticket by start-time fair
+//     queueing (stride scheduling) across the per-image queues instead
+//     of strict FIFO. Each dispatch advances the image's virtual pass by
+//     its smoothed service cost divided by its weight, so an image
+//     receives service cycles in proportion to its weight and one hot
+//     image can no longer starve every other tenant. Equal weights give
+//     cycle-proportional round-robin — already a fairness win over FIFO.
+//
+// In virtual mode, single SubmitAt calls dispatch synchronously in
+// submission order (the scheduler cannot reorder work it has not seen);
+// caps still apply, with deferral modelled as a later effective start.
+// SubmitBatchAt presents a whole arrival trace at once, and with an
+// Admission attached the batch is dispatched event-driven with the same
+// weighted pick — the deterministic substrate the fairness experiments
+// run on.
+type Admission struct {
+	// MaxInFlight caps each image's admitted-but-not-completed tickets.
+	// 0 means unlimited.
+	MaxInFlight int
+	// RejectOverflow selects the hard-cap behavior: true rejects the
+	// excess submission with ErrAdmission; false (the default) defers it
+	// in the image's queue until a slot frees.
+	RejectOverflow bool
+	// MaxQueued bounds each image's waiting tickets in the real-mode
+	// queue; beyond it, submissions shed with ErrAdmission even in
+	// deferral mode. Deferred tickets occupy the scheduler's shared
+	// bounded queue, so without this a capped image's backlog can fill
+	// the queue cap and block every other tenant's Submit at the
+	// enqueue — set MaxQueued below the queue cap to keep deferral from
+	// reintroducing the starvation it exists to prevent. 0 means
+	// unlimited. (Virtual mode models deferral in time, not queue
+	// slots, so the bound does not apply there.)
+	MaxQueued int
+	// Weights maps image identity to its scheduling weight. Images not
+	// listed get DefaultWeight.
+	Weights map[string]int
+	// DefaultWeight is the weight of unlisted images; 0 means 1.
+	DefaultWeight int
+}
+
+// WeightFor resolves an image's effective scheduling weight under this
+// policy: its Weights entry, else DefaultWeight, else 1. Exported so
+// reporting layers compute entitlements from the exact weights the
+// scheduler enforces.
+func (a Admission) WeightFor(image string) int {
+	if w, ok := a.Weights[image]; ok && w > 0 {
+		return w
+	}
+	if a.DefaultWeight > 0 {
+		return a.DefaultWeight
+	}
+	return 1
+}
+
+// strideUnit is the pass advance for a weight-1 dispatch before any
+// service-time telemetry exists.
+const strideUnit = 1 << 20
+
+// AdmissionStats is one image's admission-control telemetry.
+type AdmissionStats struct {
+	// Submitted, Completed and Rejected are lifetime ticket counts for
+	// the image (Submitted includes Rejected).
+	Submitted, Completed, Rejected uint64
+	// InFlight is the image's dispatched-but-not-completed count (real
+	// mode) and Queued its tickets still waiting in the image queue.
+	InFlight, Queued int
+	// QueueShare is the image's fraction of all queued tickets.
+	QueueShare float64
+	// SvcEWMA is the image's smoothed service time (cycles), fed from
+	// completed-ticket telemetry. It is also the stride numerator for
+	// the weighted pick.
+	SvcEWMA uint64
+	// QueueCycleSum accumulates the queueing delay of the image's
+	// completed tickets (divide by Completed for the mean).
+	QueueCycleSum uint64
+	// Weight is the image's effective scheduling weight.
+	Weight int
+}
+
+// imageState is one image's queues and telemetry inside the admission
+// layer. It is guarded by the owning scheduler's dispatch lock (the
+// dispatcher mutex in real mode, the virtual-dispatch mutex in virtual
+// mode); the two modes are mutually exclusive per scheduler.
+type imageState struct {
+	name   string
+	weight int
+
+	queue    []*Ticket // waiting tickets, FIFO within the image (real mode)
+	pass     uint64    // stride-scheduling virtual start tag
+	inFlight int       // dispatched, not yet completed (real mode)
+
+	spans      []admitSpan // virtual mode: admission spans of dispatched tickets (hard cap only)
+	maxArrival uint64      // virtual mode: high-water arrival, the prune horizon
+
+	submitted, completed, rejected uint64
+	svcEWMA                        uint64
+	queueSum                       uint64
+}
+
+// admission is the runtime state behind an Admission policy.
+type admission struct {
+	pol    Admission
+	images map[string]*imageState
+	vtime  uint64 // pass of the most recently dispatched image (global virtual time)
+}
+
+func newAdmission(pol Admission) *admission {
+	return &admission{pol: pol, images: make(map[string]*imageState)}
+}
+
+func (a *admission) state(image string) *imageState {
+	st := a.images[image]
+	if st == nil {
+		st = &imageState{name: image, weight: a.pol.WeightFor(image)}
+		a.images[image] = st
+	}
+	return st
+}
+
+// stride is the pass advance for one dispatch of st: the image's
+// smoothed service cost over its weight, so heavier requests and lighter
+// weights both slow an image's claim on the workers.
+func (a *admission) stride(st *imageState) uint64 {
+	cost := st.svcEWMA
+	if cost == 0 {
+		cost = strideUnit
+	}
+	return cost/uint64(st.weight) + 1
+}
+
+// activate normalizes a queue going empty→non-empty onto the global
+// virtual time, the start-time fair queueing arrival rule: an image idle
+// while others ran gets no banked credit, and a newcomer gets no
+// priority windfall over images that have been executing.
+func (a *admission) activate(st *imageState) {
+	if st.pass < a.vtime {
+		st.pass = a.vtime
+	}
+}
+
+// tryEnqueue admits t into its image queue, or rejects it under a hard
+// cap with RejectOverflow. Caller holds the dispatch lock.
+func (a *admission) tryEnqueue(t *Ticket) error {
+	st := a.state(t.Image)
+	st.submitted++
+	if a.pol.MaxInFlight > 0 && a.pol.RejectOverflow &&
+		len(st.queue)+st.inFlight >= a.pol.MaxInFlight {
+		st.rejected++
+		return ErrAdmission
+	}
+	if a.pol.MaxQueued > 0 && len(st.queue) >= a.pol.MaxQueued {
+		st.rejected++
+		return ErrAdmission
+	}
+	if len(st.queue) == 0 {
+		a.activate(st)
+	}
+	st.queue = append(st.queue, t)
+	return nil
+}
+
+// pick removes and returns the next ticket by weighted fair pick across
+// the per-image queues: the eligible image with the lowest pass (ties
+// break on the image name, keeping the pick deterministic). Deferred
+// images — at their hard cap — are not eligible. Returns nil when no
+// eligible ticket exists. Caller holds the dispatch lock.
+func (a *admission) pick() *Ticket {
+	var best *imageState
+	for _, st := range a.images {
+		if len(st.queue) == 0 {
+			continue
+		}
+		if a.pol.MaxInFlight > 0 && !a.pol.RejectOverflow && st.inFlight >= a.pol.MaxInFlight {
+			continue // deferred: wait for a completion slot
+		}
+		if best == nil || st.pass < best.pass || (st.pass == best.pass && st.name < best.name) {
+			best = st
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	t := best.queue[0]
+	best.queue[0] = nil
+	best.queue = best.queue[1:]
+	best.inFlight++
+	if best.pass > a.vtime {
+		a.vtime = best.pass
+	}
+	best.pass += a.stride(best)
+	return t
+}
+
+// complete folds a finished ticket's telemetry back into its image:
+// in-flight release, service-time EWMA (the stride numerator), and
+// queue-delay accounting. Caller holds the dispatch lock.
+func (a *admission) complete(t *Ticket) {
+	st := a.state(t.Image)
+	if st.inFlight > 0 {
+		st.inFlight--
+	}
+	st.completed++
+	st.svcEWMA = stats.EWMA(st.svcEWMA, t.ServiceCycles())
+	st.queueSum += t.QueueCycles()
+}
+
+// noteRejected records a rejection that happened outside tryEnqueue
+// (e.g. a submit after Close). Caller holds the dispatch lock.
+func (a *admission) noteRejected(image string) {
+	st := a.state(image)
+	st.submitted++
+	st.rejected++
+}
+
+// admitSpan is one dispatched ticket's claim on its image's in-flight
+// quota in virtual time: the slot is held from the ticket's arrival
+// (admission) until its completion. Recording the admission edge, not
+// just the completion, keeps out-of-order arrivals honest — a ticket
+// arriving at t must not be counted against a sibling that was not
+// even admitted yet at t.
+type admitSpan struct {
+	at, done uint64
+}
+
+// pruneDone drops admission spans completed at or before upTo, once the
+// history has grown enough to be worth compacting. Safe when no later
+// admission query can reference times at or below upTo; callers pass
+// the earliest arrival still outstanding, so a submission arriving out
+// of order behind it observes a slightly relaxed cap (documented on
+// admitAtVirtual). Caller holds the dispatch lock.
+func (st *imageState) pruneDone(upTo uint64) {
+	if len(st.spans) < 256 {
+		return
+	}
+	kept := st.spans[:0]
+	for _, sp := range st.spans {
+		if sp.done > upTo {
+			kept = append(kept, sp)
+		}
+	}
+	st.spans = kept
+}
+
+// inFlightAt reports how many of the image's dispatched tickets hold an
+// admission slot at virtual time t (virtual mode): admitted at or
+// before t and not yet completed. Caller holds the dispatch lock.
+func (st *imageState) inFlightAt(t uint64) int {
+	n := 0
+	for _, sp := range st.spans {
+		if sp.at <= t && sp.done > t {
+			n++
+		}
+	}
+	return n
+}
+
+// admitAtVirtual decides admission for a virtual-mode ticket arriving at
+// the given time: (ok=false) rejects under RejectOverflow; otherwise it
+// returns the earliest virtual time the image has a free slot — the
+// arrival itself when under the cap, or the k-th completion that brings
+// the in-flight count below the cap (deferred queueing as a later
+// effective start). Completion history below the highest arrival seen
+// is pruned, so a submission arriving out of order far behind the trace
+// front may observe a relaxed cap. Caller holds the dispatch lock.
+func (a *admission) admitAtVirtual(st *imageState, arrival uint64) (notBefore uint64, ok bool) {
+	if a.pol.MaxInFlight <= 0 {
+		return arrival, true
+	}
+	if arrival >= st.maxArrival {
+		st.maxArrival = arrival
+		st.pruneDone(arrival)
+	}
+	busy := st.inFlightAt(arrival)
+	if busy < a.pol.MaxInFlight {
+		return arrival, true
+	}
+	if a.pol.RejectOverflow {
+		return 0, false
+	}
+	// Deferred: the slot frees at the (busy-cap+1)-th completion among
+	// the spans occupying the quota at the arrival.
+	k := busy - a.pol.MaxInFlight + 1
+	later := make([]uint64, 0, busy)
+	for _, sp := range st.spans {
+		if sp.at <= arrival && sp.done > arrival {
+			later = append(later, sp.done)
+		}
+	}
+	sort.Slice(later, func(i, j int) bool { return later[i] < later[j] })
+	return later[k-1], true
+}
+
+// statsLocked snapshots one image. Caller holds the dispatch lock.
+func (a *admission) statsLocked(image string, totalQueued int) (AdmissionStats, bool) {
+	st := a.images[image]
+	if st == nil {
+		return AdmissionStats{}, false
+	}
+	out := AdmissionStats{
+		Submitted:     st.submitted,
+		Completed:     st.completed,
+		Rejected:      st.rejected,
+		InFlight:      st.inFlight,
+		Queued:        len(st.queue),
+		SvcEWMA:       st.svcEWMA,
+		QueueCycleSum: st.queueSum,
+		Weight:        st.weight,
+	}
+	if totalQueued > 0 {
+		out.QueueShare = float64(len(st.queue)) / float64(totalQueued)
+	}
+	return out, true
+}
+
+// imagesLocked lists tracked image identities, sorted. Caller holds the
+// dispatch lock.
+func (a *admission) imagesLocked() []string {
+	out := make([]string, 0, len(a.images))
+	for name := range a.images {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

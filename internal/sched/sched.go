@@ -9,7 +9,7 @@
 // served strictly sequentially. sched centralizes that: a bounded
 // worker pool in which each worker owns a virtual clock (modelling one
 // core's TSC, exactly like the paper's per-core rdtsc methodology),
-// a ticket/future API, queue-depth accounting, and a completion hook.
+// a ticket/future API, queue-depth accounting, and completion hooks.
 //
 // Two execution modes share the same API and semantics:
 //
@@ -23,6 +23,17 @@
 //     the worker clocks, i.e. from real queue state. The serverless
 //     Fig 15 simulation uses this mode so results stay reproducible.
 //
+// Bursts submit through SubmitBatch/SubmitBatchAt: one lock
+// acquisition, one ticket-slab allocation, and one worker wake for the
+// whole burst, with an optional batch-aware completion hook
+// (WithOnBatchComplete) firing once when the last ticket of the burst
+// finishes. Multi-tenant deployments attach an Admission policy
+// (WithAdmission): every ticket carries its image identity, and
+// dispatch switches from one FIFO to per-image queues with hard
+// in-flight quotas (ErrAdmission rejection or deferred queueing) and
+// weighted fair picking, so one hot image cannot starve other tenants
+// of workers. See the Admission type for the policy semantics.
+//
 // The scheduler is also the drive shaft of true Wasp+CA (Fig 8): when
 // the runtime cleans shells asynchronously, real-mode workers scrub
 // dirty shells on a low-priority lane whenever the ticket queue is
@@ -31,8 +42,8 @@
 // dedicated virtual core whose clock absorbs every zeroing cost
 // (CleanerCycles). Completed image tickets additionally feed their
 // queue-depth and service-time telemetry back into the runtime's
-// pool-sizing policy (wasp.ObserveLoad), so bursts prewarm the warm
-// shell pool and idle periods shrink it.
+// per-image pool-sizing policy (wasp.ObserveLoad), so bursts prewarm
+// the warm shell pool and idle periods shrink it.
 package sched
 
 import (
@@ -54,6 +65,10 @@ type Task func(clk *cycles.Clock) (*wasp.Result, error)
 // that has been closed.
 var ErrClosed = errors.New("sched: scheduler closed")
 
+// errNilTask rejects a batch Request carrying neither an image nor a
+// task function.
+var errNilTask = errors.New("sched: request has neither image nor task")
+
 // Ticket is the future for one scheduled invocation. Wait blocks until
 // the work completes; the timing fields (Arrival, Start, Done, Worker,
 // DepthAtSubmit) are valid once Wait has returned.
@@ -61,10 +76,11 @@ type Ticket struct {
 	run  Task
 	done chan struct{}
 	// hasArrival records whether the caller declared a virtual arrival
-	// time (SubmitAt/SubmitFnAt). Undeclared tickets take their worker's
-	// clock at dequeue as Arrival, so they report zero queueing delay —
-	// per-worker clocks are independent timelines, and a wait measured
-	// against an arrival the caller never declared would be fiction.
+	// time (SubmitAt/SubmitFnAt/SubmitBatchAt). Undeclared tickets take
+	// their worker's clock at dequeue as Arrival, so they report zero
+	// queueing delay — per-worker clocks are independent timelines, and
+	// a wait measured against an arrival the caller never declared would
+	// be fiction.
 	hasArrival bool
 
 	// Arrival is the virtual time the request entered the system: the
@@ -80,14 +96,57 @@ type Ticket struct {
 	// submitted (real mode: tickets waiting in the queue; virtual mode:
 	// workers still busy at the arrival time).
 	DepthAtSubmit int
+	// Image is the identity of the guest image this ticket runs (the
+	// image name, or the Request.Image tag for raw tasks; empty for
+	// untagged tasks). Admission control and the per-image pool-sizing
+	// telemetry key on it.
+	Image string
+
+	// notBefore is the earliest virtual time admission control allows
+	// service to start (virtual-mode deferred queueing); 0 means
+	// unconstrained.
+	notBefore uint64
 
 	// memBytes is the guest-memory size class of an image submission;
 	// 0 for raw tasks. Completed image tickets feed the pool-sizing
 	// policy with it.
 	memBytes int
 
+	// batch links tickets submitted in one SubmitBatch burst for the
+	// batch completion hook; nil for single submissions.
+	batch *batchGroup
+
 	res *wasp.Result
 	err error
+}
+
+// batchGroup counts down one burst's outstanding tickets and fires the
+// batch completion hook once, when the last ticket (including rejected
+// ones) finishes.
+type batchGroup struct {
+	tickets []*Ticket
+	pending atomic.Int64
+	fn      func([]*Ticket)
+}
+
+// finishBatch retires this ticket from its burst, invoking the batch
+// hook if it was the last one out. It then drops the ticket's work
+// closure and batch link, freeing the run closures' captured request
+// environments and the burst's ticket-pointer graph. The slab's Ticket
+// structs themselves (and their results) stay reachable while any one
+// ticket is retained — that is the deliberate cost of the single-slab
+// allocation; callers holding tickets long-term should copy out the
+// results they need.
+func (t *Ticket) finishBatch() {
+	bg := t.batch
+	t.run = nil
+	t.batch = nil
+	if bg == nil {
+		return
+	}
+	if bg.pending.Add(-1) == 0 && bg.fn != nil {
+		bg.fn(bg.tickets)
+	}
 }
 
 // Wait blocks until the ticket's work has completed and returns its
@@ -98,10 +157,10 @@ func (t *Ticket) Wait() (*wasp.Result, error) {
 }
 
 // QueueCycles reports how long the ticket waited between its declared
-// virtual arrival and the start of service. Tickets submitted without
-// an arrival time (Submit/SubmitFn) report 0 — use SubmitAt/SubmitFnAt
-// for virtual-time queue accounting, or DepthAtSubmit for instantaneous
-// backlog. Valid after Wait.
+// virtual arrival and the start of service, including any admission
+// deferral. Tickets submitted without an arrival time (Submit/SubmitFn)
+// report 0 — use SubmitAt/SubmitFnAt for virtual-time queue accounting,
+// or DepthAtSubmit for instantaneous backlog. Valid after Wait.
 func (t *Ticket) QueueCycles() uint64 {
 	// A ticket that never started service (e.g. submitted after Close)
 	// keeps Start == 0; with a nonzero declared Arrival the subtraction
@@ -129,6 +188,19 @@ func WaitAll(tickets ...*Ticket) error {
 	return firstErr
 }
 
+// Request describes one submission inside a batch: either an image to
+// run (Img + Cfg) or a raw task (Fn). Image, when set, overrides the
+// ticket's image identity — the tag admission control and per-image
+// telemetry key on (raw tasks are untagged otherwise). Arrival is the
+// declared virtual arrival time, used by SubmitBatchAt only.
+type Request struct {
+	Arrival uint64
+	Img     *guest.Image
+	Cfg     wasp.RunConfig
+	Fn      Task
+	Image   string
+}
+
 // worker is one execution lane with its own virtual clock — the model
 // of one physical core serving virtines back to back. runs is atomic so
 // WorkerLoads stays a safe diagnostic read even while workers execute.
@@ -149,8 +221,25 @@ type Scheduler struct {
 	cleaner       *wasp.Cleaner
 	cleanerDrains atomic.Uint64
 
-	queue chan *Ticket // real mode only
-	wg    sync.WaitGroup
+	// Real-mode dispatch queue: a condition-variable deque instead of a
+	// channel, so a burst enqueues under one lock acquisition with one
+	// wake, and the admission layer can pick across per-image queues
+	// instead of strict FIFO. qcap bounds the backlog (Submit blocks
+	// when full — backpressure instead of unbounded growth).
+	dmu      sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	qcap     int
+	qclosed  bool
+	fifo     []*Ticket // plain FIFO lane, used when adm == nil
+	fifoHead int
+	queuedN  int
+
+	// adm is the per-image admission-control state, nil without
+	// WithAdmission. Real mode guards it with dmu, virtual mode with mu.
+	adm *admission
+
+	wg sync.WaitGroup
 
 	mu      sync.Mutex   // virtual-mode dispatch
 	closeMu sync.RWMutex // guards closed; submits hold the read side
@@ -161,7 +250,9 @@ type Scheduler struct {
 	peakDepth  atomic.Int64
 	submitted  atomic.Uint64
 	completed  atomic.Uint64
+	rejected   atomic.Uint64
 	onComplete func(*Ticket)
+	onBatch    func([]*Ticket)
 }
 
 // Option configures a Scheduler.
@@ -173,25 +264,43 @@ type Option func(*Scheduler)
 func WithQueueCap(n int) Option {
 	return func(s *Scheduler) {
 		if n > 0 {
-			s.queue = make(chan *Ticket, n)
+			s.qcap = n
 		}
 	}
 }
 
 // WithOnComplete installs a completion hook, invoked once per ticket
-// after its timing fields are final and before Wait unblocks. In real
-// mode the hook runs on worker goroutines and must be safe for
-// concurrent use; in virtual mode it runs in the submitting goroutine.
+// that finishes service, after its timing fields are final and before
+// Wait unblocks (rejected tickets never run, so the hook does not fire
+// for them). In real mode the hook runs on worker goroutines and must
+// be safe for concurrent use; in virtual mode it runs in the submitting
+// goroutine and must not call back into the scheduler.
 func WithOnComplete(fn func(*Ticket)) Option {
 	return func(s *Scheduler) { s.onComplete = fn }
+}
+
+// WithOnBatchComplete installs a batch completion hook, invoked exactly
+// once per SubmitBatch/SubmitBatchAt burst when the burst's last ticket
+// finishes (rejected tickets count as finished). In real mode it runs
+// on whichever goroutine retired the last ticket; in virtual mode it
+// runs in the submitting goroutine and must not call back into the
+// scheduler.
+func WithOnBatchComplete(fn func([]*Ticket)) Option {
+	return func(s *Scheduler) { s.onBatch = fn }
+}
+
+// WithAdmission attaches a per-image admission-control policy. See
+// Admission for the hard-cap and weighted-fairness semantics.
+func WithAdmission(pol Admission) Option {
+	return func(s *Scheduler) { s.adm = newAdmission(pol) }
 }
 
 // New builds a real-mode scheduler: n worker goroutines, each with its
 // own virtual clock, draining a bounded queue.
 func New(w *wasp.Wasp, n int, opts ...Option) *Scheduler {
 	s := newScheduler(w, n, false, opts...)
-	if s.queue == nil {
-		s.queue = make(chan *Ticket, 4*n)
+	if s.qcap == 0 {
+		s.qcap = 4 * n
 	}
 	for _, wk := range s.workers {
 		s.wg.Add(1)
@@ -212,6 +321,8 @@ func newScheduler(w *wasp.Wasp, n int, virtual bool, opts ...Option) *Scheduler 
 		n = 1
 	}
 	s := &Scheduler{w: w, virtual: virtual}
+	s.notEmpty = sync.NewCond(&s.dmu)
+	s.notFull = sync.NewCond(&s.dmu)
 	s.workers = make([]*worker, n)
 	for i := range s.workers {
 		s.workers[i] = &worker{id: i, clk: cycles.NewClock()}
@@ -240,14 +351,18 @@ func (s *Scheduler) Wasp() *wasp.Wasp { return s.w }
 // Submit schedules one virtine execution — the asynchronous analogue of
 // wasp.Run. The returned Ticket is the future for its result.
 func (s *Scheduler) Submit(img *guest.Image, cfg wasp.RunConfig) *Ticket {
-	return s.submit(0, false, img.MemBytes(), s.runTask(img, cfg))
+	t := s.newTicket(0, false, img, cfg, nil)
+	s.submitTickets([]*Ticket{t})
+	return t
 }
 
 // SubmitAt schedules a virtine execution arriving at the given virtual
 // time. The assigned worker's clock first advances to the arrival time,
 // so queueing delay is measured against it.
 func (s *Scheduler) SubmitAt(arrival uint64, img *guest.Image, cfg wasp.RunConfig) *Ticket {
-	return s.submit(arrival, true, img.MemBytes(), s.runTask(img, cfg))
+	t := s.newTicket(arrival, true, img, cfg, nil)
+	s.submitTickets([]*Ticket{t})
+	return t
 }
 
 func (s *Scheduler) runTask(img *guest.Image, cfg wasp.RunConfig) Task {
@@ -257,41 +372,259 @@ func (s *Scheduler) runTask(img *guest.Image, cfg wasp.RunConfig) Task {
 }
 
 // SubmitFn schedules an arbitrary task on the worker pool.
-func (s *Scheduler) SubmitFn(fn Task) *Ticket { return s.submit(0, false, 0, fn) }
+func (s *Scheduler) SubmitFn(fn Task) *Ticket {
+	t := s.newTicket(0, false, nil, wasp.RunConfig{}, fn)
+	s.submitTickets([]*Ticket{t})
+	return t
+}
 
 // SubmitFnAt schedules an arbitrary task arriving at the given virtual
 // time.
 func (s *Scheduler) SubmitFnAt(arrival uint64, fn Task) *Ticket {
-	return s.submit(arrival, true, 0, fn)
+	t := s.newTicket(arrival, true, nil, wasp.RunConfig{}, fn)
+	s.submitTickets([]*Ticket{t})
+	return t
 }
 
-func (s *Scheduler) submit(arrival uint64, hasArrival bool, memBytes int, fn Task) *Ticket {
-	t := &Ticket{run: fn, Arrival: arrival, hasArrival: hasArrival, memBytes: memBytes, done: make(chan struct{})}
-	// The read lock lets submits proceed concurrently while excluding
-	// Close: the queue cannot be closed under an in-flight send, and a
-	// submit after Close gets an ErrClosed ticket instead of a panic.
+// SubmitBatch schedules a burst of requests in one shot: one ticket
+// slab, one queue lock acquisition, and one worker wake for the whole
+// burst, instead of per-submission costs. Per-ticket semantics are
+// identical to the equivalent sequence of Submit/SubmitFn calls;
+// declared arrivals in the requests are ignored (use SubmitBatchAt).
+func (s *Scheduler) SubmitBatch(reqs []Request) []*Ticket {
+	return s.submitBatch(reqs, false)
+}
+
+// SubmitBatchAt is SubmitBatch for requests with declared virtual
+// arrival times. Without an Admission policy, batching is a pure
+// optimization: virtual mode dispatches the batch in submission order,
+// producing exactly the per-ticket schedule of the equivalent SubmitAt
+// sequence. With an Admission policy attached, virtual mode dispatches
+// the batch event-driven with the weighted per-image pick — the
+// deterministic multi-tenant fairness substrate.
+func (s *Scheduler) SubmitBatchAt(reqs []Request) []*Ticket {
+	return s.submitBatch(reqs, true)
+}
+
+func (s *Scheduler) submitBatch(reqs []Request, hasArrival bool) []*Ticket {
+	n := len(reqs)
+	if n == 0 {
+		return nil
+	}
+	// One slab for the whole burst: the tickets of a batch are allocated
+	// contiguously, and their pointers share the one backing array.
+	slab := make([]Ticket, n)
+	tickets := make([]*Ticket, n)
+	var bg *batchGroup
+	if s.onBatch != nil {
+		bg = &batchGroup{tickets: tickets, fn: s.onBatch}
+		bg.pending.Store(int64(n))
+	}
+	for i := range reqs {
+		r := &reqs[i]
+		t := &slab[i]
+		t.done = make(chan struct{})
+		t.batch = bg
+		if hasArrival {
+			t.Arrival = r.Arrival
+			t.hasArrival = true
+		}
+		s.initTicket(t, r.Img, r.Cfg, r.Fn, r.Image)
+		tickets[i] = t
+	}
+	s.submitTickets(tickets)
+	return tickets
+}
+
+func (s *Scheduler) newTicket(arrival uint64, hasArrival bool, img *guest.Image, cfg wasp.RunConfig, fn Task) *Ticket {
+	t := &Ticket{Arrival: arrival, hasArrival: hasArrival, done: make(chan struct{})}
+	s.initTicket(t, img, cfg, fn, "")
+	return t
+}
+
+// initTicket fills a ticket's work and identity from an image-or-task
+// submission — the single source of truth for both the single-submit
+// and batch paths. tag, when non-empty, overrides the image identity.
+func (s *Scheduler) initTicket(t *Ticket, img *guest.Image, cfg wasp.RunConfig, fn Task, tag string) {
+	if img != nil {
+		t.run = s.runTask(img, cfg)
+		t.Image = img.Name
+		t.memBytes = img.MemBytes()
+	} else {
+		t.run = fn
+	}
+	if tag != "" {
+		t.Image = tag
+	}
+}
+
+// submitTickets routes a prepared ticket slice into the scheduler. It
+// is the single entry point behind every Submit variant: the read lock
+// lets submits proceed concurrently while excluding Close, so a submit
+// racing or following Close yields rejected (ErrClosed) tickets instead
+// of a panic, and Submitted always counts the attempt.
+func (s *Scheduler) submitTickets(ts []*Ticket) {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
+	s.submitted.Add(uint64(len(ts)))
+	var rejected []*Ticket
 	if s.closed {
-		t.err = ErrClosed
-		close(t.done)
-		return t
+		rejected = s.rejectAll(ts, ErrClosed)
+	} else if s.virtual {
+		rejected = s.dispatchVirtual(ts)
+	} else {
+		rejected = s.putTickets(ts)
 	}
-	s.submitted.Add(1)
-	if s.virtual {
-		s.dispatchVirtual(t)
-		return t
+	for _, t := range rejected {
+		s.finalizeRejected(t)
 	}
-	d := s.depth.Add(1)
-	for {
-		p := s.peakDepth.Load()
-		if d <= p || s.peakDepth.CompareAndSwap(p, d) {
-			break
+}
+
+// rejectAll marks every ticket rejected with err and records the
+// per-image rejection telemetry.
+func (s *Scheduler) rejectAll(ts []*Ticket, err error) []*Ticket {
+	if s.adm != nil {
+		if s.virtual {
+			s.mu.Lock()
+		} else {
+			s.dmu.Lock()
+		}
+		for _, t := range ts {
+			s.adm.noteRejected(t.Image)
+		}
+		if s.virtual {
+			s.mu.Unlock()
+		} else {
+			s.dmu.Unlock()
 		}
 	}
-	t.DepthAtSubmit = int(d - 1) // tickets already waiting ahead of this one
-	s.queue <- t
-	return t
+	for _, t := range ts {
+		t.err = err
+	}
+	return ts
+}
+
+// finalizeRejected retires a ticket that will never run: its error is
+// already set, so account it and unblock waiters. Runs with no
+// dispatch lock held in either mode (submitTickets calls it after
+// putTickets/dispatchVirtual have released theirs) — it must touch
+// only the ticket itself and atomic counters.
+func (s *Scheduler) finalizeRejected(t *Ticket) {
+	s.rejected.Add(1)
+	close(t.done)
+	t.finishBatch()
+}
+
+// putTickets enqueues a burst on the real-mode dispatch queue under one
+// lock acquisition, waking the workers once. It returns the tickets the
+// queue did not accept (scheduler closed mid-wait, admission hard-cap
+// rejection, or a nil task), each with its error set.
+func (s *Scheduler) putTickets(ts []*Ticket) (rejected []*Ticket) {
+	accepted := 0
+	s.dmu.Lock()
+	for _, t := range ts {
+		if t.run == nil {
+			t.err = errNilTask
+			if s.adm != nil {
+				s.adm.noteRejected(t.Image)
+			}
+			rejected = append(rejected, t)
+			continue
+		}
+		for !s.qclosed && s.queuedN >= s.qcap {
+			// A burst larger than the queue's free space must wake the
+			// workers before sleeping: the usual single wake happens only
+			// after the whole burst is enqueued, and waiting for space
+			// that only workers can free without it is a deadlock.
+			s.notEmpty.Broadcast()
+			s.notFull.Wait()
+		}
+		if s.qclosed {
+			t.err = ErrClosed
+			if s.adm != nil {
+				s.adm.noteRejected(t.Image)
+			}
+			rejected = append(rejected, t)
+			continue
+		}
+		if s.adm != nil {
+			if err := s.adm.tryEnqueue(t); err != nil {
+				t.err = err
+				rejected = append(rejected, t)
+				continue
+			}
+		} else {
+			s.fifo = append(s.fifo, t)
+		}
+		t.DepthAtSubmit = s.queuedN // tickets already waiting ahead of this one
+		s.queuedN++
+		s.depth.Store(int64(s.queuedN))
+		if d := int64(s.queuedN); d > s.peakDepth.Load() {
+			s.peakDepth.Store(d)
+		}
+		accepted++
+	}
+	// One wake for the burst — but a single submission wakes a single
+	// worker: pick eligibility is global, so broadcasting one ticket to
+	// N idle workers is a thundering herd on the hot dispatch path.
+	switch {
+	case accepted == 1:
+		s.notEmpty.Signal()
+	case accepted > 1:
+		s.notEmpty.Broadcast()
+	}
+	s.dmu.Unlock()
+	return rejected
+}
+
+type popResult int
+
+const (
+	popGot popResult = iota
+	popEmpty
+	popDone
+)
+
+// popTicket takes the next schedulable ticket: the FIFO head, or the
+// admission layer's weighted pick across per-image queues. With block
+// it waits until a ticket is eligible or the queue is closed and
+// drained; deferred tickets (image at its hard cap) keep the worker
+// waiting until a completion frees a slot.
+func (s *Scheduler) popTicket(block bool) (*Ticket, popResult) {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	for {
+		var t *Ticket
+		if s.adm != nil {
+			t = s.adm.pick()
+		} else if s.fifoHead < len(s.fifo) {
+			t = s.fifo[s.fifoHead]
+			s.fifo[s.fifoHead] = nil
+			s.fifoHead++
+			if s.fifoHead == len(s.fifo) {
+				s.fifo = s.fifo[:0]
+				s.fifoHead = 0
+			} else if s.fifoHead > 1024 && 2*s.fifoHead > len(s.fifo) {
+				// Compact the drained prefix so a long-lived queue does
+				// not pin its high-water backing array.
+				s.fifo = append(s.fifo[:0], s.fifo[s.fifoHead:]...)
+				s.fifoHead = 0
+			}
+		}
+		if t != nil {
+			s.queuedN--
+			s.depth.Store(int64(s.queuedN))
+			s.notFull.Signal()
+			return t, popGot
+		}
+		if s.qclosed && s.queuedN == 0 {
+			return nil, popDone
+		}
+		if !block {
+			return nil, popEmpty
+		}
+		s.notEmpty.Wait()
+	}
 }
 
 // workerLoop drains tickets with priority; when the queue is
@@ -303,31 +636,28 @@ func (s *Scheduler) submit(arrival uint64, hasArrival bool, memBytes int, fn Tas
 func (s *Scheduler) workerLoop(wk *worker) {
 	defer s.wg.Done()
 	for {
-		select {
-		case t, ok := <-s.queue:
-			if !ok {
-				return
-			}
-			s.depth.Add(-1)
-			s.exec(wk, t)
-		default:
+		t, st := s.popTicket(false)
+		if st == popEmpty {
 			if s.cleaner != nil && s.cleaner.DrainOne() {
 				s.cleanerDrains.Add(1)
 				continue
 			}
-			t, ok := <-s.queue
-			if !ok {
-				return
-			}
-			s.depth.Add(-1)
-			s.exec(wk, t)
+			t, st = s.popTicket(true)
 		}
+		if st == popDone {
+			return
+		}
+		s.exec(wk, t)
 	}
 }
 
 // exec runs one ticket on a worker, stamping its virtual-time bounds.
 func (s *Scheduler) exec(wk *worker, t *Ticket) {
 	wk.clk.AdvanceTo(t.Arrival)
+	if t.notBefore > t.Arrival {
+		// Admission deferred the start past the arrival (virtual mode).
+		wk.clk.AdvanceTo(t.notBefore)
+	}
 	t.Start = wk.clk.Now()
 	if !t.hasArrival {
 		t.Arrival = t.Start
@@ -339,22 +669,104 @@ func (s *Scheduler) exec(wk *worker, t *Ticket) {
 	s.completed.Add(1)
 	if t.memBytes > 0 {
 		// Feed the pool-sizing policy: backlog at submit and service
-		// time of this size class (prewarm under bursts, shrink when
-		// idle).
-		s.w.ObserveLoad(t.memBytes, t.DepthAtSubmit, t.Done-t.Start)
+		// time of this image's size class (prewarm under bursts, shrink
+		// when idle).
+		s.w.ObserveLoad(t.Image, t.memBytes, t.DepthAtSubmit, t.Done-t.Start)
+	}
+	if s.adm != nil {
+		s.noteDone(t)
 	}
 	if s.onComplete != nil {
 		s.onComplete(t)
 	}
 	close(t.done)
+	t.finishBatch()
 }
 
-// dispatchVirtual assigns the ticket to the earliest-free worker in
-// virtual time and services it synchronously — the event-driven mode.
-// Ties break toward the lowest worker index, keeping runs deterministic.
-func (s *Scheduler) dispatchVirtual(t *Ticket) {
+// noteDone folds a completed ticket back into the admission state:
+// in-flight release, per-image telemetry, and (virtual mode) the
+// completion-time history the hard-cap model reads.
+func (s *Scheduler) noteDone(t *Ticket) {
+	if s.virtual {
+		// The virtual dispatch path already holds mu. Completion-time
+		// history exists only to serve hard-cap in-flight queries; with
+		// no cap it would just grow without bound.
+		s.adm.complete(t)
+		if s.adm.pol.MaxInFlight > 0 {
+			st := s.adm.state(t.Image)
+			st.spans = append(st.spans, admitSpan{at: t.Arrival, done: t.Done})
+		}
+		return
+	}
+	s.dmu.Lock()
+	s.adm.complete(t)
+	if s.adm.pol.MaxInFlight > 0 && !s.adm.pol.RejectOverflow {
+		// A deferred image may have a free slot now. Only deferral-mode
+		// caps can park a worker waiting on a completion; broadcasting
+		// for other policies would just wake every idle worker per
+		// ticket for nothing.
+		s.notEmpty.Broadcast()
+	}
+	s.dmu.Unlock()
+}
+
+// dispatchVirtual services a submission synchronously in virtual time.
+// Single tickets (and admission-free batches) dispatch in submission
+// order — batching never changes the schedule. Batches under an
+// Admission policy run the event-driven weighted dispatch instead.
+// Returns the tickets admission rejected.
+func (s *Scheduler) dispatchVirtual(ts []*Ticket) []*Ticket {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.adm != nil && len(ts) > 1 {
+		return s.dispatchVirtualWeighted(ts)
+	}
+	var rejected []*Ticket
+	for _, t := range ts {
+		if !s.dispatchVirtualOne(t) {
+			rejected = append(rejected, t)
+		}
+	}
+	return rejected
+}
+
+// dispatchVirtualOne dispatches one ticket at its arrival time,
+// applying the admission hard cap (rejection, or deferral as a later
+// effective start). Reports whether the ticket was admitted. Caller
+// holds mu.
+func (s *Scheduler) dispatchVirtualOne(t *Ticket) bool {
+	if t.run == nil {
+		t.err = errNilTask
+		if s.adm != nil {
+			s.adm.noteRejected(t.Image)
+		}
+		return false
+	}
+	if s.adm != nil {
+		st := s.adm.state(t.Image)
+		st.submitted++
+		nb, ok := s.adm.admitAtVirtual(st, t.Arrival)
+		if !ok {
+			st.rejected++
+			t.err = ErrAdmission
+			return false
+		}
+		t.notBefore = nb
+		s.adm.activate(st)
+		if st.pass > s.adm.vtime {
+			s.adm.vtime = st.pass
+		}
+		st.pass += s.adm.stride(st)
+	}
+	s.placeVirtual(t)
+	return true
+}
+
+// placeVirtual assigns the ticket to the earliest-free worker in
+// virtual time and services it synchronously — the event-driven core.
+// Ties break toward the lowest worker index, keeping runs
+// deterministic. Caller holds mu.
+func (s *Scheduler) placeVirtual(t *Ticket) {
 	best := s.workers[0]
 	busy := 0
 	for _, wk := range s.workers {
@@ -377,6 +789,160 @@ func (s *Scheduler) dispatchVirtual(t *Ticket) {
 	}
 }
 
+// dispatchVirtualWeighted dispatches a whole batch event-driven: at
+// each step the decision time T is the earliest-free worker clock (at
+// least the earliest undispatched arrival), the backlog is every
+// undispatched ticket arrived by T, and the next ticket is chosen by
+// the admission layer's weighted fair pick across the backlog's images
+// — exactly what the real-mode per-image queues do, made deterministic.
+// Hard caps apply at T: RejectOverflow rejects a backlogged ticket
+// whose image is saturated at its arrival; deferred images leave their
+// tickets in the backlog until a completion frees a slot. Each dispatch
+// re-scans the pending slice, so the loop is O(n²) in batch size —
+// fine for the experiment-scale traces it serves (the span history,
+// the actual quadratic risk, is pruned); replace the scan with
+// per-image FIFOs under a pass-ordered heap before feeding it
+// 100k-ticket traces. Caller holds mu. Returns the rejected tickets.
+func (s *Scheduler) dispatchVirtualWeighted(ts []*Ticket) (rejected []*Ticket) {
+	a := s.adm
+	pending := make([]*Ticket, 0, len(ts))
+	for _, t := range ts {
+		if t.run == nil {
+			t.err = errNilTask
+			a.noteRejected(t.Image)
+			rejected = append(rejected, t)
+			continue
+		}
+		a.state(t.Image).submitted++
+		pending = append(pending, t)
+	}
+	var timeFloor uint64
+	for len(pending) > 0 {
+		// Decision time: earliest-free worker, floored by deferral waits
+		// and by the earliest pending arrival.
+		T := s.workers[0].clk.Now()
+		for _, wk := range s.workers {
+			if wk.clk.Now() < T {
+				T = wk.clk.Now()
+			}
+		}
+		if T < timeFloor {
+			T = timeFloor
+		}
+		minArr := ^uint64(0)
+		for _, t := range pending {
+			if t.Arrival < minArr {
+				minArr = t.Arrival
+			}
+		}
+		if minArr > T {
+			T = minArr
+		}
+
+		// Hard-cap rejection happens when a ticket enters the decision
+		// window: its image saturated at its arrival time.
+		if a.pol.MaxInFlight > 0 && a.pol.RejectOverflow {
+			kept := pending[:0]
+			dropped := false
+			for _, t := range pending {
+				if t.Arrival <= T && a.state(t.Image).inFlightAt(t.Arrival) >= a.pol.MaxInFlight {
+					a.state(t.Image).rejected++
+					t.err = ErrAdmission
+					rejected = append(rejected, t)
+					dropped = true
+					continue
+				}
+				kept = append(kept, t)
+			}
+			pending = kept
+			if dropped {
+				continue
+			}
+		}
+
+		// Weighted pick: per image, the earliest-submitted backlogged
+		// ticket; across images, the lowest pass among those not at a
+		// deferral cap at T. The cap check is memoized per image for
+		// this iteration — inFlightAt scans the image's completion
+		// history, and a burst can have thousands of backlogged tickets
+		// sharing one image.
+		var best *Ticket
+		var bestSt *imageState
+		bestIdx := -1
+		var deferred map[*imageState]bool
+		atCap := func(st *imageState) bool {
+			if a.pol.MaxInFlight <= 0 || a.pol.RejectOverflow {
+				return false
+			}
+			if deferred == nil {
+				deferred = make(map[*imageState]bool)
+			}
+			capped, ok := deferred[st]
+			if !ok {
+				capped = st.inFlightAt(T) >= a.pol.MaxInFlight
+				deferred[st] = capped
+			}
+			return capped
+		}
+		for i, t := range pending {
+			if t.Arrival > T {
+				continue
+			}
+			st := a.state(t.Image)
+			if atCap(st) {
+				continue
+			}
+			a.activate(st)
+			// First-submitted ticket per image (same-image entries later
+			// in pending compare equal and are skipped), lowest (pass,
+			// name) across images.
+			if bestSt == nil || st.pass < bestSt.pass ||
+				(st.pass == bestSt.pass && st != bestSt && st.name < bestSt.name) {
+				best, bestSt, bestIdx = t, st, i
+			}
+		}
+		if best == nil {
+			// Every backlogged image is deferred: advance time to the
+			// next event and retry. That event is the earliest capping
+			// completion beyond T — or the next pending arrival, which
+			// must also bound the jump: an uncapped image's ticket must
+			// never be held past its arrival just because another
+			// image's backlog is waiting out its quota.
+			nextT := ^uint64(0)
+			for _, t := range pending {
+				if t.Arrival > T {
+					if t.Arrival < nextT {
+						nextT = t.Arrival
+					}
+					continue
+				}
+				for _, sp := range a.state(t.Image).spans {
+					if sp.done > T && sp.done < nextT {
+						nextT = sp.done
+					}
+				}
+			}
+			if nextT == ^uint64(0) {
+				nextT = T + 1 // defensive: cannot recur, caps imply in-flight work
+			}
+			timeFloor = nextT
+			continue
+		}
+		if bestSt.pass > a.vtime {
+			a.vtime = bestSt.pass
+		}
+		bestSt.pass += a.stride(bestSt)
+		best.notBefore = T
+		pending = append(pending[:bestIdx], pending[bestIdx+1:]...)
+		// Every remaining pending arrival is >= minArr, so completion
+		// history at or below it can never be queried again — compact
+		// it before the history of a long trace grows quadratic.
+		bestSt.pruneDone(minArr)
+		s.placeVirtual(best)
+	}
+	return rejected
+}
+
 // QueueDepth reports the number of tickets currently waiting (real
 // mode; always 0 in virtual mode, where dispatch is synchronous).
 func (s *Scheduler) QueueDepth() int { return int(s.depth.Load()) }
@@ -385,11 +951,49 @@ func (s *Scheduler) QueueDepth() int { return int(s.depth.Load()) }
 // peak busy-worker count observed at submission (virtual mode).
 func (s *Scheduler) PeakQueueDepth() int { return int(s.peakDepth.Load()) }
 
-// Submitted and Completed report lifetime ticket counts.
+// Submitted reports lifetime submission attempts, including rejected
+// ones; after a drain, Submitted == Completed + Rejected.
 func (s *Scheduler) Submitted() uint64 { return s.submitted.Load() }
 
 // Completed reports how many tickets have finished service.
 func (s *Scheduler) Completed() uint64 { return s.completed.Load() }
+
+// Rejected reports tickets that never ran: submissions after Close,
+// admission hard-cap rejections, and malformed batch requests.
+func (s *Scheduler) Rejected() uint64 { return s.rejected.Load() }
+
+// AdmissionStats snapshots one image's admission telemetry. The second
+// return is false when no Admission policy is attached or the image has
+// never been seen.
+func (s *Scheduler) AdmissionStats(image string) (AdmissionStats, bool) {
+	if s.adm == nil {
+		return AdmissionStats{}, false
+	}
+	if s.virtual {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.adm.statsLocked(image, 0)
+	}
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	return s.adm.statsLocked(image, s.queuedN)
+}
+
+// AdmissionImages lists the image identities the admission layer has
+// seen, sorted; nil when no policy is attached.
+func (s *Scheduler) AdmissionImages() []string {
+	if s.adm == nil {
+		return nil
+	}
+	if s.virtual {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.adm.imagesLocked()
+	}
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	return s.adm.imagesLocked()
+}
 
 // Close stops accepting work and waits for in-flight tickets to drain.
 // Close is idempotent; a Submit racing or following Close returns a
@@ -403,7 +1007,11 @@ func (s *Scheduler) Close() {
 	s.closed = true
 	s.closeMu.Unlock()
 	if !s.virtual {
-		close(s.queue)
+		s.dmu.Lock()
+		s.qclosed = true
+		s.notEmpty.Broadcast()
+		s.notFull.Broadcast()
+		s.dmu.Unlock()
 		s.wg.Wait()
 	} else if s.cleaner != nil {
 		// Hand drain ownership back to the runtime: any leftover dirty
@@ -457,6 +1065,6 @@ func (s *Scheduler) String() string {
 	if s.virtual {
 		mode = "virtual"
 	}
-	return fmt.Sprintf("sched{%s, workers=%d, submitted=%d, completed=%d, depth=%d}",
-		mode, len(s.workers), s.Submitted(), s.Completed(), s.QueueDepth())
+	return fmt.Sprintf("sched{%s, workers=%d, submitted=%d, completed=%d, rejected=%d, depth=%d}",
+		mode, len(s.workers), s.Submitted(), s.Completed(), s.Rejected(), s.QueueDepth())
 }

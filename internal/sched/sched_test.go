@@ -283,8 +283,11 @@ func TestSubmitAfterCloseFailsCleanly(t *testing.T) {
 	if _, err := late.Wait(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
-	if s.Submitted() != 1 {
-		t.Fatalf("rejected submit counted: %d", s.Submitted())
+	// The attempt is counted, as a rejection: the conservation law
+	// Submitted == Completed + Rejected must hold after the drain.
+	if s.Submitted() != 2 || s.Completed() != 1 || s.Rejected() != 1 {
+		t.Fatalf("submitted/completed/rejected = %d/%d/%d, want 2/1/1",
+			s.Submitted(), s.Completed(), s.Rejected())
 	}
 }
 

@@ -19,7 +19,9 @@
 package serverless
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/cycles"
@@ -343,6 +345,202 @@ func RunFig15(w *wasp.Wasp, pattern LoadPattern, seed int64) ([]TracePoint, erro
 		out = append(out, tp)
 	}
 	return out, nil
+}
+
+// --- Multi-tenant noisy-neighbor fairness experiment ---------------------
+//
+// One hot function ("hog") bursts ~3x the node's capacity while several
+// cold tenants trickle small requests through the horizon — the classic
+// noisy-neighbor mix the scheduler's admission layer exists for. The
+// whole arrival trace is presented to a virtual-mode scheduler as one
+// SubmitBatchAt, so the experiment is deterministic, and it runs once
+// per dispatch policy (plain FIFO, soft weights, hard cap).
+
+// TenantFairness is one tenant's slice of a fairness run.
+type TenantFairness struct {
+	Image    string
+	Weight   int
+	Requests int
+	// DoneByHorizon counts the tenant's requests completed within the
+	// arrival horizon — the congestion window fairness is judged over.
+	DoneByHorizon int
+	// DemandCycles is the tenant's total offered service work;
+	// ServedCycles the part of it completed within the horizon.
+	DemandCycles, ServedCycles uint64
+	// P50QueueMs/P99QueueMs reduce the tenant's per-request queueing
+	// delay (admission deferral included).
+	P50QueueMs, P99QueueMs float64
+	// Share is the tenant's entitlement satisfaction in [0,1]:
+	// ServedCycles over min(DemandCycles, weighted fair share of the
+	// horizon's capacity). A tenant that received everything it was
+	// entitled to scores 1 even if it demanded more — a backlogged hog
+	// is not a victim of unfairness, only of its own excess.
+	Share float64
+}
+
+// FairnessReport is one noisy-neighbor run under one dispatch policy.
+type FairnessReport struct {
+	Config     string
+	Workers    int
+	HorizonSec int
+	Tenants    []TenantFairness // sorted by image name
+	// Jain is Jain's fairness index over the tenants' Share values:
+	// 1.0 when every tenant got its entitlement, 1/n when one tenant
+	// captured everything.
+	Jain     float64
+	Makespan uint64
+	Rejected uint64
+}
+
+// noisyNeighborTrace builds the deterministic tenant mix for the given
+// horizon: per second, the hog issues 8 bursts of 32 requests at ~47 ms
+// each (~3x a 4-worker node's capacity), and each cold tenant issues 16
+// requests at ~4 ms. Requests carry seeded jitter, precomputed at trace
+// build time so every policy replays the identical workload. The trace
+// is sorted by arrival with the hog first at equal instants — the
+// backlog position a cold tenant actually finds.
+func noisyNeighborTrace(horizonSec int, seed int64) ([]sched.Request, map[string]uint64) {
+	const F = uint64(cycles.Frequency)
+	noise := cycles.NewNoise(seed)
+	demand := make(map[string]uint64)
+	var reqs []sched.Request
+	add := func(image string, arrival, svc uint64) {
+		svc = noise.Jitter(svc)
+		demand[image] += svc
+		cost := svc
+		reqs = append(reqs, sched.Request{
+			Arrival: arrival,
+			Image:   image,
+			Fn: func(clk *cycles.Clock) (*wasp.Result, error) {
+				clk.Advance(cost)
+				return nil, nil
+			},
+		})
+	}
+	for sec := 0; sec < horizonSec; sec++ {
+		base := uint64(sec) * F
+		for burst := 0; burst < 8; burst++ {
+			at := base + uint64(burst)*(F/8)
+			for i := 0; i < 32; i++ {
+				add("hog", at, F/21) // ~47 ms: 256/s ≈ 3x of 4 workers
+			}
+		}
+	}
+	for _, tenant := range []string{"svc-a", "svc-b", "svc-c", "svc-d"} {
+		for sec := 0; sec < horizonSec; sec++ {
+			base := uint64(sec) * F
+			for i := 0; i < 16; i++ {
+				add(tenant, base+uint64(i)*(F/16), F/256) // ~4 ms each
+			}
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	return reqs, demand
+}
+
+// RunNoisyNeighbor drives the noisy-neighbor mix through a virtual-mode
+// scheduler with the given worker width and admission policy (nil for
+// the FIFO baseline) and reduces the outcome to a FairnessReport.
+func RunNoisyNeighbor(w *wasp.Wasp, config string, workers, horizonSec int, adm *sched.Admission, seed int64) (*FairnessReport, error) {
+	if workers < 1 {
+		workers = 4
+	}
+	if horizonSec < 1 {
+		horizonSec = 2
+	}
+	reqs, demand := noisyNeighborTrace(horizonSec, seed)
+	var opts []sched.Option
+	if adm != nil {
+		opts = append(opts, sched.WithAdmission(*adm))
+	}
+	s := sched.NewVirtual(w, workers, opts...)
+	defer s.Close()
+	tickets := s.SubmitBatchAt(reqs)
+
+	horizon := uint64(horizonSec) * uint64(cycles.Frequency)
+	capacity := uint64(workers) * horizon
+	type acc struct {
+		reqs, done int
+		served     uint64
+		queues     []float64
+	}
+	byImage := make(map[string]*acc)
+	var rejected uint64
+	for _, tk := range tickets {
+		a := byImage[tk.Image]
+		if a == nil {
+			a = &acc{}
+			byImage[tk.Image] = a
+		}
+		a.reqs++
+		if _, err := tk.Wait(); err != nil {
+			if errors.Is(err, sched.ErrAdmission) || errors.Is(err, sched.ErrClosed) {
+				rejected++
+				continue
+			}
+			return nil, err
+		}
+		a.queues = append(a.queues, float64(tk.QueueCycles()))
+		if tk.Done <= horizon {
+			a.done++
+			a.served += tk.ServiceCycles()
+		}
+	}
+
+	names := make([]string, 0, len(byImage))
+	for name := range byImage {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var weightSum int
+	pol := sched.Admission{}
+	if adm != nil {
+		pol = *adm
+	}
+	weights := make(map[string]int, len(names))
+	for _, name := range names {
+		// The exact weights the scheduler enforced, not a reimplementation.
+		weights[name] = pol.WeightFor(name)
+		weightSum += weights[name]
+	}
+
+	rep := &FairnessReport{
+		Config:     config,
+		Workers:    workers,
+		HorizonSec: horizonSec,
+		Makespan:   s.Makespan(),
+		Rejected:   rejected,
+	}
+	shares := make([]float64, 0, len(names))
+	for _, name := range names {
+		a := byImage[name]
+		fairShare := float64(capacity) * float64(weights[name]) / float64(weightSum)
+		entitled := float64(demand[name])
+		if fairShare < entitled {
+			entitled = fairShare
+		}
+		share := 0.0
+		if entitled > 0 {
+			share = float64(a.served) / entitled
+			if share > 1 {
+				share = 1
+			}
+		}
+		shares = append(shares, share)
+		rep.Tenants = append(rep.Tenants, TenantFairness{
+			Image:         name,
+			Weight:        weights[name],
+			Requests:      a.reqs,
+			DoneByHorizon: a.done,
+			DemandCycles:  demand[name],
+			ServedCycles:  a.served,
+			P50QueueMs:    cycles.Millis(uint64(stats.Percentile(a.queues, 50))),
+			P99QueueMs:    cycles.Millis(uint64(stats.Percentile(a.queues, 99))),
+			Share:         share,
+		})
+	}
+	rep.Jain = stats.Jain(shares)
+	return rep, nil
 }
 
 // Summary reduces a trace to the headline comparison.

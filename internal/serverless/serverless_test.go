@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cycles"
+	"repro/internal/sched"
 	"repro/internal/wasp"
 )
 
@@ -124,5 +125,79 @@ func TestFig15Shape(t *testing.T) {
 	}
 	if s.VespidTotal == 0 || s.WhiskTotal == 0 {
 		t.Fatal("no completions recorded")
+	}
+}
+
+// TestNoisyNeighborFairness: the admission layer's reason to exist.
+// Under FIFO the hog's bursts starve the cold tenants (low Jain index,
+// seconds of queueing); under equal soft weights every tenant receives
+// its entitlement (Jain ≥ 0.9) and cold-tenant p99 queueing collapses
+// by orders of magnitude. Virtual mode keeps both runs deterministic.
+func TestNoisyNeighborFairness(t *testing.T) {
+	fifo, err := RunNoisyNeighbor(wasp.New(), "fifo", 4, 2, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := RunNoisyNeighbor(wasp.New(), "weighted", 4, 2, &sched.Admission{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fair.Jain < 0.9 {
+		t.Fatalf("weighted Jain = %.3f, want >= 0.9", fair.Jain)
+	}
+	if fifo.Jain > fair.Jain-0.1 {
+		t.Fatalf("FIFO Jain %.3f not clearly below weighted %.3f", fifo.Jain, fair.Jain)
+	}
+	cold := func(rep *FairnessReport, image string) TenantFairness {
+		for _, tf := range rep.Tenants {
+			if tf.Image == image {
+				return tf
+			}
+		}
+		t.Fatalf("%s: no tenant %s", rep.Config, image)
+		return TenantFairness{}
+	}
+	for _, image := range []string{"svc-a", "svc-d"} {
+		f, w := cold(fifo, image), cold(fair, image)
+		if w.P99QueueMs*10 > f.P99QueueMs {
+			t.Fatalf("%s: weighted p99 %.1f ms not an order below FIFO %.1f ms",
+				image, w.P99QueueMs, f.P99QueueMs)
+		}
+		if w.DoneByHorizon != w.Requests {
+			t.Fatalf("%s: only %d/%d done within horizon under weights",
+				image, w.DoneByHorizon, w.Requests)
+		}
+	}
+	if fifo.Rejected != 0 || fair.Rejected != 0 {
+		t.Fatalf("rejections without a hard cap: %d/%d", fifo.Rejected, fair.Rejected)
+	}
+	// Deterministic replay.
+	again, err := RunNoisyNeighbor(wasp.New(), "weighted", 4, 2, &sched.Admission{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Jain != fair.Jain || again.Makespan != fair.Makespan {
+		t.Fatalf("weighted run not reproducible: (%.4f,%d) vs (%.4f,%d)",
+			again.Jain, again.Makespan, fair.Jain, fair.Makespan)
+	}
+}
+
+// TestNoisyNeighborHardCap: a hard in-flight cap also protects the
+// cold tenants, at the cost of work conservation for the hog.
+func TestNoisyNeighborHardCap(t *testing.T) {
+	rep, err := RunNoisyNeighbor(wasp.New(), "hardcap", 4, 2, &sched.Admission{MaxInFlight: 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jain < 0.9 {
+		t.Fatalf("hard-cap Jain = %.3f, want >= 0.9", rep.Jain)
+	}
+	for _, tf := range rep.Tenants {
+		if tf.Image == "hog" {
+			continue
+		}
+		if tf.P99QueueMs > 200 {
+			t.Fatalf("%s: p99 queue %.1f ms under hard cap", tf.Image, tf.P99QueueMs)
+		}
 	}
 }

@@ -170,6 +170,38 @@ func (s Summary) String() string {
 		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P99, s.Max, s.Outliers)
 }
 
+// EWMA folds one sample into an exponentially weighted moving average
+// with a 1/8 smoothing factor (the TCP RTT estimator's classic alpha);
+// a zero prev seeds the average with the sample. The scheduler's
+// admission strides and the Wasp pool-sizing telemetry share this so
+// their smoothing can never silently diverge.
+func EWMA(prev, sample uint64) uint64 {
+	if prev == 0 {
+		return sample
+	}
+	return (7*prev + sample) / 8
+}
+
+// Jain returns Jain's fairness index (Σx)²/(n·Σx²) over the per-tenant
+// allocation metric xs: 1.0 when every tenant receives an equal value,
+// approaching 1/n as one tenant captures everything. Tenants absent
+// from the allocation contribute x=0. Returns 0 for an empty or
+// all-zero input.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // FromUint64 converts a []uint64 cycle series to float64 for reduction.
 func FromUint64(xs []uint64) []float64 {
 	out := make([]float64, len(xs))

@@ -183,3 +183,28 @@ func TestFromUint64(t *testing.T) {
 		t.Fatalf("FromUint64 = %v", out)
 	}
 }
+
+func TestJainFairnessIndex(t *testing.T) {
+	if j := Jain(nil); j != 0 {
+		t.Fatalf("Jain(nil) = %v", j)
+	}
+	if j := Jain([]float64{0, 0}); j != 0 {
+		t.Fatalf("Jain(zeros) = %v", j)
+	}
+	if j := Jain([]float64{3, 3, 3, 3}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal allocation: Jain = %v, want 1", j)
+	}
+	// One tenant captures everything: index collapses to 1/n.
+	if j := Jain([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("monopoly: Jain = %v, want 0.25", j)
+	}
+	// Scale invariance.
+	a := Jain([]float64{1, 2, 3})
+	b := Jain([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("not scale invariant: %v vs %v", a, b)
+	}
+	if a <= 0.25 || a >= 1 {
+		t.Fatalf("mixed allocation index %v out of (1/n, 1)", a)
+	}
+}

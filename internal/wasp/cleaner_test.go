@@ -211,7 +211,7 @@ func TestPoolPolicySelfSizing(t *testing.T) {
 	w := New(WithPoolPolicy(PoolPolicy{MaxPerClass: 8, GrowDepth: 2, GrowBatch: 8, ShrinkAfter: 3}))
 	const mem = 64 << 10
 
-	w.ObserveLoad(mem, 6, 1000)
+	w.ObserveLoad("", mem, 6, 1000)
 	st := w.PoolStatsFor(mem)
 	if st.Target != 6 || st.Cached != 6 {
 		t.Fatalf("after burst of 6: target/cached = %d/%d, want 6/6", st.Target, st.Cached)
@@ -221,7 +221,7 @@ func TestPoolPolicySelfSizing(t *testing.T) {
 	}
 
 	// A deeper burst clamps at the class cap.
-	w.ObserveLoad(mem, 100, 1000)
+	w.ObserveLoad("", mem, 100, 1000)
 	st = w.PoolStatsFor(mem)
 	if st.Target != 8 || st.Cached != 8 {
 		t.Fatalf("after deep burst: target/cached = %d/%d, want 8/8 (cap)", st.Target, st.Cached)
@@ -229,7 +229,7 @@ func TestPoolPolicySelfSizing(t *testing.T) {
 
 	// Three consecutive uncontended completions shrink by one.
 	for i := 0; i < 3; i++ {
-		w.ObserveLoad(mem, 0, 500)
+		w.ObserveLoad("", mem, 0, 500)
 	}
 	st = w.PoolStatsFor(mem)
 	if st.Target != 7 || st.Cached != 7 {
@@ -238,7 +238,7 @@ func TestPoolPolicySelfSizing(t *testing.T) {
 
 	// Sustained idling floors at one warm shell.
 	for i := 0; i < 3*40; i++ {
-		w.ObserveLoad(mem, 0, 500)
+		w.ObserveLoad("", mem, 0, 500)
 	}
 	st = w.PoolStatsFor(mem)
 	if st.Target != 0 || st.Cached != 1 {

@@ -3,6 +3,7 @@ package wasp
 import (
 	"sync"
 
+	"repro/internal/stats"
 	"repro/internal/vmm"
 )
 
@@ -98,16 +99,62 @@ type shellPools struct {
 }
 
 type poolShard struct {
-	mu    sync.Mutex
+	mu     sync.Mutex
 	bySize map[int][]*shell
 	sizing map[int]*classSizing
 }
 
-// classSizing is the per-size-class self-sizing state ObserveLoad feeds.
+// classSizing is the per-size-class self-sizing state ObserveLoad
+// feeds. Sizing is per image within the class: each image that runs in
+// the class carries its own warm-target claim, raised by its own bursts
+// and decayed by its own idle streaks, so one image going quiet shrinks
+// only its share of the warm set and a multi-tenant class keeps shells
+// for every active tenant. The class's effective warm target is the sum
+// of the per-image claims, clamped to the class capacity.
 type classSizing struct {
-	target  int    // warm-shell floor the policy currently wants
-	idle    int    // consecutive uncontended completions
-	svcEWMA uint64 // smoothed service time of this class's runs
+	svcEWMA uint64 // smoothed service time across all of the class's runs
+	tick    uint64 // observation counter, the staleness timebase
+	byImage map[string]*imageSizing
+}
+
+// imageSizing is one image's claim on its size class's warm pool.
+type imageSizing struct {
+	target   int    // warm shells this image's bursts currently justify
+	idle     int    // consecutive uncontended completions
+	svcEWMA  uint64 // smoothed service time of this image's runs
+	lastSeen uint64 // class tick of this image's latest observation
+}
+
+// staleFactor scales ShrinkAfter into the vanished-tenant threshold: an
+// image unobserved for staleFactor×ShrinkAfter class completions starts
+// losing its warm claim to the reaper in observe. Much larger than the
+// self-idle threshold, so an active-but-uncontended tenant always decays
+// through its own idle streak first.
+const staleFactor = 8
+
+// classTarget sums the per-image warm targets, clamped to the class
+// capacity. Called with the shard lock held.
+func (st *classSizing) classTarget(max int) int {
+	n := 0
+	for _, ist := range st.byImage {
+		n += ist.target
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+func (st *classSizing) image(name string) *imageSizing {
+	ist := st.byImage[name]
+	if ist == nil {
+		ist = &imageSizing{}
+		if st.byImage == nil {
+			st.byImage = make(map[string]*imageSizing)
+		}
+		st.byImage[name] = ist
+	}
+	return ist
 }
 
 // shardFor hashes a memory size class onto a shard. Sizes are
@@ -152,12 +199,13 @@ func (p *shellPools) put(memBytes int, s *shell) bool {
 }
 
 // observe folds one completed run's scheduler telemetry into the size
-// class's sizing state. Under a burst it returns the cached count the
-// caller should prewarm the class up to (0 means no growth); under a
-// sustained idle streak it releases one surplus shell right here, under
-// the shard lock, so a concurrent acquire can never race the class
-// below its one-warm-shell floor.
-func (p *shellPools) observe(memBytes, depth int, svc uint64) (wantCached int) {
+// class's per-image sizing state. Under a burst it returns the cached
+// count the caller should prewarm the class up to (0 means no growth);
+// under a sustained idle streak of the observed image it decays that
+// image's claim and releases one surplus shell right here, under the
+// shard lock, so a concurrent acquire can never race the class below
+// its one-warm-shell floor.
+func (p *shellPools) observe(image string, memBytes, depth int, svc uint64) (wantCached int) {
 	sh := p.shardFor(memBytes)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -169,36 +217,36 @@ func (p *shellPools) observe(memBytes, depth int, svc uint64) (wantCached int) {
 		st = &classSizing{}
 		sh.sizing[memBytes] = st
 	}
-	if st.svcEWMA == 0 {
-		st.svcEWMA = svc
-	} else {
-		st.svcEWMA = (7*st.svcEWMA + svc) / 8
-	}
+	st.svcEWMA = stats.EWMA(st.svcEWMA, svc)
+	st.tick++
+	ist := st.image(image)
+	ist.lastSeen = st.tick
+	ist.svcEWMA = stats.EWMA(ist.svcEWMA, svc)
 	cached := len(sh.bySize[memBytes])
 	switch {
 	case depth >= p.policy.GrowDepth:
-		st.idle = 0
+		ist.idle = 0
 		want := depth
 		if want > p.policy.MaxPerClass {
 			want = p.policy.MaxPerClass
 		}
-		if want > st.target {
-			st.target = want
+		if want > ist.target {
+			ist.target = want
 		}
-		if st.target > cached {
+		if target := st.classTarget(p.policy.MaxPerClass); target > cached {
 			wantCached = cached + p.policy.GrowBatch
-			if wantCached > st.target {
-				wantCached = st.target
+			if wantCached > target {
+				wantCached = target
 			}
 		}
 	case depth == 0:
-		st.idle++
-		if st.idle >= p.policy.ShrinkAfter {
-			st.idle = 0
-			if st.target > 0 {
-				st.target--
+		ist.idle++
+		if ist.idle >= p.policy.ShrinkAfter {
+			ist.idle = 0
+			if ist.target > 0 {
+				ist.target--
 			}
-			floor := st.target
+			floor := st.classTarget(p.policy.MaxPerClass)
 			if floor < 1 {
 				floor = 1 // keep the last warm shell
 			}
@@ -210,7 +258,49 @@ func (p *shellPools) observe(memBytes, depth int, svc uint64) (wantCached int) {
 			}
 		}
 	default:
-		st.idle = 0
+		ist.idle = 0
+	}
+	// Reap vanished tenants: an image that stopped submitting entirely
+	// never observes its own idle streak, so without this its warm claim
+	// (and the shells behind it) would stay pinned forever. Once an
+	// image has been unobserved for staleFactor×ShrinkAfter class
+	// completions, its claim drains one unit per observation until it is
+	// gone, releasing surplus shells to the host along the way.
+	if p.policy.ShrinkAfter > 0 {
+		staleAfter := uint64(staleFactor * p.policy.ShrinkAfter)
+		// At most one stale decay per observation; the victim is chosen
+		// deterministically (stalest first, name tiebreak), never by map
+		// iteration order — pool state must stay reproducible or
+		// virtual-mode runs would diverge on warm-shell hits.
+		var victim *imageSizing
+		var victimName string
+		for name, other := range st.byImage {
+			if other == ist || st.tick-other.lastSeen < staleAfter {
+				continue
+			}
+			if victim == nil || other.lastSeen < victim.lastSeen ||
+				(other.lastSeen == victim.lastSeen && name < victimName) {
+				victim, victimName = other, name
+			}
+		}
+		if victim != nil {
+			if victim.target > 0 {
+				victim.target--
+			}
+			if victim.target == 0 {
+				delete(st.byImage, victimName)
+			}
+			cached = len(sh.bySize[memBytes])
+			floor := st.classTarget(p.policy.MaxPerClass)
+			if floor < 1 {
+				floor = 1
+			}
+			if cached > floor {
+				pool := sh.bySize[memBytes]
+				pool[cached-1] = nil
+				sh.bySize[memBytes] = pool[:cached-1]
+			}
+		}
 	}
 	return wantCached
 }
@@ -222,8 +312,25 @@ func (p *shellPools) stats(memBytes int) PoolStats {
 	defer sh.mu.Unlock()
 	out := PoolStats{Cached: len(sh.bySize[memBytes])}
 	if st := sh.sizing[memBytes]; st != nil {
-		out.Target = st.target
+		out.Target = st.classTarget(p.policy.MaxPerClass)
 		out.SvcEWMA = st.svcEWMA
+	}
+	return out
+}
+
+// imageStats snapshots one image's sizing state within a size class:
+// Target and SvcEWMA are the image's own claim and smoothed service
+// time, Cached the class's shared warm count.
+func (p *shellPools) imageStats(memBytes int, image string) PoolStats {
+	sh := p.shardFor(memBytes)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := PoolStats{Cached: len(sh.bySize[memBytes])}
+	if st := sh.sizing[memBytes]; st != nil {
+		if ist := st.byImage[image]; ist != nil {
+			out.Target = ist.target
+			out.SvcEWMA = ist.svcEWMA
+		}
 	}
 	return out
 }
@@ -253,7 +360,7 @@ func (p *shellPools) total() int {
 // snapRegistry holds per-image snapshots. Reads (every warm Run) take
 // the shared lock; writes happen once per image at capture time.
 type snapRegistry struct {
-	mu   sync.RWMutex
+	mu    sync.RWMutex
 	byImg map[string]*snapshot
 }
 

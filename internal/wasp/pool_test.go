@@ -130,3 +130,72 @@ func TestConcurrentRunStress(t *testing.T) {
 		t.Fatalf("pool total changed %d -> %d across steady-state runs", total, w.PoolTotal())
 	}
 }
+
+// TestPoolPerImageSizing: warm-target claims are tracked per image
+// within a size class, so one tenant going idle shrinks only its own
+// share of the warm set and an active tenant's prewarmed shells
+// survive a neighbor's quiet period.
+func TestPoolPerImageSizing(t *testing.T) {
+	w := New(WithPoolPolicy(PoolPolicy{MaxPerClass: 8, GrowDepth: 2, GrowBatch: 8, ShrinkAfter: 2}))
+	const mem = 64 << 10
+
+	w.ObserveLoad("tenant-a", mem, 4, 1000)
+	w.ObserveLoad("tenant-b", mem, 3, 2000)
+	if st := w.PoolImageStats(mem, "tenant-a"); st.Target != 4 || st.SvcEWMA == 0 {
+		t.Fatalf("tenant-a image stats = %+v, want target 4", st)
+	}
+	if st := w.PoolImageStats(mem, "tenant-b"); st.Target != 3 {
+		t.Fatalf("tenant-b image stats = %+v, want target 3", st)
+	}
+	// The class target is the sum of the per-image claims, and the pool
+	// is prewarmed up to it.
+	if st := w.PoolStatsFor(mem); st.Target != 7 || st.Cached != 7 {
+		t.Fatalf("class stats = %+v, want target/cached 7/7", st)
+	}
+
+	// tenant-b idles: only its claim decays, one surplus shell at a time.
+	for i := 0; i < 2*3; i++ {
+		w.ObserveLoad("tenant-b", mem, 0, 500)
+	}
+	if st := w.PoolImageStats(mem, "tenant-b"); st.Target != 0 {
+		t.Fatalf("idle tenant-b target = %d, want 0", st.Target)
+	}
+	if st := w.PoolImageStats(mem, "tenant-a"); st.Target != 4 {
+		t.Fatalf("tenant-a target = %d after neighbor idle, want 4 (untouched)", st.Target)
+	}
+	if st := w.PoolStatsFor(mem); st.Target != 4 || st.Cached != 4 {
+		t.Fatalf("class stats after shrink = %+v, want 4/4 (tenant-a's warm set kept)", st)
+	}
+
+	// A deeper burst from tenant-a clamps the summed target at the cap.
+	w.ObserveLoad("tenant-a", mem, 100, 1000)
+	if st := w.PoolStatsFor(mem); st.Target != 8 {
+		t.Fatalf("class target = %d after deep burst, want 8 (cap)", st.Target)
+	}
+}
+
+// TestPoolVanishedTenantReaped: a tenant that stops submitting entirely
+// never runs its own idle streak, so the stale reaper must drain its
+// warm claim instead — otherwise its shells stay pinned forever while
+// other tenants keep the class's observation stream alive.
+func TestPoolVanishedTenantReaped(t *testing.T) {
+	w := New(WithPoolPolicy(PoolPolicy{MaxPerClass: 8, GrowDepth: 2, GrowBatch: 8, ShrinkAfter: 2}))
+	const mem = 64 << 10
+
+	w.ObserveLoad("ghost", mem, 4, 1000)
+	if st := w.PoolStatsFor(mem); st.Target != 4 || st.Cached != 4 {
+		t.Fatalf("after burst: %+v, want 4/4", st)
+	}
+	// The ghost vanishes; another tenant keeps completing uncontended.
+	// Past the staleness window (8x ShrinkAfter observations) the
+	// ghost's claim drains and the warm set shrinks back to the floor.
+	for i := 0; i < 40; i++ {
+		w.ObserveLoad("steady", mem, 0, 500)
+	}
+	if st := w.PoolImageStats(mem, "ghost"); st.Target != 0 {
+		t.Fatalf("ghost target = %d after staleness window, want 0", st.Target)
+	}
+	if st := w.PoolStatsFor(mem); st.Target != 0 || st.Cached != 1 {
+		t.Fatalf("class stats = %+v, want 0 target / 1 cached (floor)", st)
+	}
+}

@@ -192,9 +192,16 @@ func (w *Wasp) PoolTotal() int {
 }
 
 // PoolStatsFor snapshots one size class's pool state (cached count,
-// warm target, smoothed service time).
+// summed per-image warm target, smoothed service time).
 func (w *Wasp) PoolStatsFor(memBytes int) PoolStats {
 	return w.pools.stats(memBytes)
+}
+
+// PoolImageStats snapshots one image's sizing state within a size
+// class: Target and SvcEWMA are the image's own warm-target claim and
+// smoothed service time; Cached is the class's shared warm count.
+func (w *Wasp) PoolImageStats(memBytes int, image string) PoolStats {
+	return w.pools.imageStats(memBytes, image)
 }
 
 // PoolDropped reports shells dropped at the capacity bound on the
@@ -233,16 +240,18 @@ func (w *Wasp) Prewarm(memBytes, n int) int {
 }
 
 // ObserveLoad feeds scheduler telemetry for one completed run into the
-// pool-sizing policy: a deep queue at submit raises the size class's
-// warm target and prewarms shells; a sustained idle streak decays the
-// target and releases a surplus cached shell to the host (handled
-// inside observe, under the shard lock). The unified scheduler calls
-// this once per completed image ticket.
-func (w *Wasp) ObserveLoad(memBytes, depth int, svcCycles uint64) {
+// pool-sizing policy, attributed to the image that ran: a deep queue at
+// submit raises the image's warm-target claim on its size class and
+// prewarms shells; a sustained idle streak of that image decays only
+// its own claim and releases a surplus cached shell to the host
+// (handled inside observe, under the shard lock), so a multi-tenant
+// class keeps warm shells for tenants that are still active. The
+// unified scheduler calls this once per completed image ticket.
+func (w *Wasp) ObserveLoad(image string, memBytes, depth int, svcCycles uint64) {
 	if !w.pooling {
 		return
 	}
-	if wantCached := w.pools.observe(memBytes, depth, svcCycles); wantCached > 0 {
+	if wantCached := w.pools.observe(image, memBytes, depth, svcCycles); wantCached > 0 {
 		w.Prewarm(memBytes, wantCached)
 	}
 }
