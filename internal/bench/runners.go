@@ -752,3 +752,56 @@ func WaspCA(trials int) (*Table, error) {
 	t.Note("paper (Fig 8): moving cleaning off the critical path puts pooled creation within ~4%% of bare vmrun")
 	return t, nil
 }
+
+// InterpSpeed measures the host-side cost of the guest interpreter:
+// instructions retired per second of wall clock (MIPS) and nanoseconds
+// per guest instruction, for the predecoded block-execution engine
+// against the legacy decode-every-instruction path. Virtual-cycle
+// results are bit-identical between the two (the differential
+// determinism tests enforce it); this table is purely about how fast the
+// host can push guest work — the cost that gates how much traffic the
+// scheduler and pool layers can drive through one machine.
+func InterpSpeed(trials int) (*Table, error) {
+	trials = clampTrials(trials, 3, 50)
+	img := guest.MustFromAsm("interp-fib", guest.WrapLongMode(fibAsm(21)))
+
+	t := &Table{
+		ID:     "interp",
+		Title:  "Interpreter host speed: MIPS / ns per guest instruction",
+		Header: []string{"engine", "instr/run", "host-ms/run", "MIPS", "ns/instr"},
+	}
+	measureEngine := func(legacy bool) (retired uint64, wall time.Duration, err error) {
+		w := wasp.New(wasp.WithLegacyInterp(legacy))
+		if _, err := w.Run(img, wasp.RunConfig{}, cycles.NewClock()); err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		for i := 0; i < trials; i++ {
+			res, err := w.Run(img, wasp.RunConfig{}, cycles.NewClock())
+			if err != nil {
+				return 0, 0, err
+			}
+			retired += res.Retired
+		}
+		return retired, time.Since(start), nil
+	}
+	var nsPer [2]float64
+	for i, eng := range []struct {
+		name   string
+		legacy bool
+	}{{"cached", false}, {"legacy", true}} {
+		retired, wall, err := measureEngine(eng.legacy)
+		if err != nil {
+			return nil, err
+		}
+		perRun := retired / uint64(trials)
+		ns := float64(wall.Nanoseconds()) / float64(retired)
+		nsPer[i] = ns
+		t.AddRow(eng.name, d0(perRun),
+			f2(float64(wall.Microseconds())/1e3/float64(trials)),
+			f1(1e3/ns), f2(ns))
+	}
+	t.Note("cached engine: per-page predecoded instructions, block fetch window, batched cycle charges (%.1fx vs legacy)", nsPer[1]/nsPer[0])
+	t.Note("virtual cycles are bit-identical across engines; only host wall-clock differs")
+	return t, nil
+}

@@ -107,6 +107,7 @@ var Registry = []struct {
 	{"sched", "Scheduler saturation: Run throughput vs workers", SchedSaturation},
 	{"wasp-ca", "Wasp+C vs Wasp+CA: async cleaning off the critical path", WaspCA},
 	{"admission", "Multi-tenant admission control: noisy-neighbor fairness", AdmissionFairness},
+	{"interp", "Interpreter host speed: MIPS / ns per guest instruction", InterpSpeed},
 }
 
 // Lookup finds a runner by experiment ID.

@@ -1,0 +1,381 @@
+package cpu
+
+// Decoded-instruction cache. The legacy interpreter re-parses raw bytes
+// with isa.Decode on every retired instruction; at guest scale that decode
+// is the dominant host cost (roughly half the wall-clock of a fib run).
+// This file predecodes guest code into per-physical-page arrays of compact
+// decoded entries: each instruction is decoded once per page generation,
+// not once per execution.
+//
+// Correctness hinges on invalidation. Every write into guest-physical
+// memory funnels through one of:
+//
+//   - the CPU's own store paths (storeWord, STOREB, WriteMem), which call
+//     invalidateCode directly, so self-modifying code re-decodes the
+//     bytes it just wrote even on a bare CPU with no VMM attached;
+//   - vmm.Context.HostWrite — the funnel image loads, argument
+//     marshalling, and hypercall handler writes report to — which calls
+//     InvalidateCode before the dirty-page bookkeeping, so host writes
+//     flush exactly the touched code pages;
+//   - vmm.Context.Clean / CPU.Reset, which drop the whole cache (the
+//     shell is zeroed; nothing cached can remain valid).
+//
+// Invalidation is page-granular and cheap: dropping a page is a single
+// pointer store, and the no-code-cached-here check data stores pay is one
+// nil test.
+//
+// Pages can outlive one CPU. ShareCode freezes the current pages
+// (marking them immutable and recording the exact bytes they were decoded
+// from) and AdoptCode installs frozen pages into another CPU after
+// verifying the target memory still holds those bytes. Wasp uses this to
+// keep one decoded cache per image across pooled shells, snapshot
+// restores, and parked COW shells: decode once per image, not once per
+// run. A CPU that needs to write into a shared page (new entry, different
+// mode) clones it first, so frozen pages are never mutated.
+
+import (
+	"bytes"
+
+	"repro/internal/cycles"
+	"repro/internal/isa"
+)
+
+// codePageSize is the invalidation granularity. It matches vmm.PageSize
+// (the dirty-page granularity); vmm imports cpu, so the constant is
+// restated here.
+const codePageSize = 4096
+
+// centry is one predecoded instruction, compact enough that a full page
+// of entries stays cache-friendly (16 bytes per offset).
+type centry struct {
+	op   isa.Op
+	dst  isa.Reg
+	src  isa.Reg
+	sub  byte
+	mode isa.Mode
+	n    uint8 // encoded length; 0 marks an empty slot
+	cost uint8 // precomputed base cycle cost (InstrBase + mul/div extra)
+	flag uint8 // fSpecial: execute via the legacy Step path
+	imm  uint64
+}
+
+const fSpecial = 1
+
+// specialOp marks opcodes the fast loop delegates to the legacy Step
+// path: everything that can switch modes, flush the TLB, record a boot
+// event, or exit to the VMM. They are rare, and delegating keeps exactly
+// one implementation of the tricky architectural transitions.
+var specialOp = [isa.NumOps]bool{
+	isa.HLT: true, isa.OUT: true, isa.IN: true, isa.LGDT: true,
+	isa.MOVCR: true, isa.RDCR: true, isa.LJMP: true,
+}
+
+// baseCost returns the fixed cycle cost charged before/while executing op
+// that does not depend on run-time state (InstrBase, plus the multi-cycle
+// ALU charges). Memory-access costs stay in loadWord/storeWord because
+// their fault paths must charge exactly as the legacy interpreter does.
+func baseCost(op isa.Op) uint8 {
+	c := uint8(cycles.InstrBase)
+	switch op {
+	case isa.MUL:
+		c += cycles.InstrMul
+	case isa.DIV, isa.MOD:
+		c += cycles.InstrDiv
+	}
+	return c
+}
+
+func centryFrom(in isa.Inst, m isa.Mode) centry {
+	e := centry{
+		op: in.Op, dst: in.Dst, src: in.Src, sub: in.Sub,
+		mode: m, n: uint8(in.Len), cost: baseCost(in.Op), imm: in.Imm,
+	}
+	if specialOp[in.Op] {
+		e.flag = fSpecial
+	}
+	return e
+}
+
+// codePage holds the decoded entries for one 4 KiB physical page, indexed
+// by offset within the page. Entries exist only at instruction starts
+// that have actually been reached.
+type codePage struct {
+	// shared marks the page immutable: it is referenced by a CodeCache
+	// (a Wasp per-image registry entry) and possibly by other CPUs. A
+	// CPU must clone a shared page before writing new entries into it.
+	shared bool
+	// src is the page content the entries were decoded from, recorded
+	// when the page is frozen; AdoptCode compares it against the target
+	// memory so a stale decode can never be installed.
+	src  []byte
+	ents [codePageSize]centry
+}
+
+// ensureCode sizes the per-page table on first use.
+func (c *CPU) ensureCode() {
+	if c.code == nil {
+		c.code = make([]*codePage, (len(c.Mem)+codePageSize-1)/codePageSize)
+	}
+}
+
+// codePageFor returns a writable page for the given page index,
+// allocating or cloning (copy-on-write for shared pages) as needed.
+// Either way the CPU now holds decode state its last ShareCode did not
+// publish, so the new-pages flag is raised.
+func (c *CPU) codePageFor(page uint64) *codePage {
+	pg := c.code[page]
+	if pg == nil {
+		pg = &codePage{}
+		c.code[page] = pg
+	} else if pg.shared {
+		cl := &codePage{ents: pg.ents}
+		c.code[page] = cl
+		pg = cl
+	}
+	c.codeNew = true
+	return pg
+}
+
+// CodeNew reports whether the CPU has decoded into pages that no
+// ShareCode call has published yet. Wasp uses it to skip the per-run
+// freeze/merge entirely on the warm path, where every page was adopted
+// from the registry and nothing new was decoded.
+func (c *CPU) CodeNew() bool { return c.codeNew }
+
+// InvalidateCode drops cached decodes overlapping [addr, addr+n) of
+// guest-physical memory. It is called by the CPU's own store paths and by
+// the VMM's dirty-page tracker (host writes into guest memory). Dropping
+// is a pointer store; shared pages are simply unreferenced, never mutated.
+func (c *CPU) InvalidateCode(addr uint64, n int) {
+	if n <= 0 || len(c.code) == 0 || addr >= uint64(len(c.Mem)) {
+		return
+	}
+	first := addr / codePageSize
+	last := (addr + uint64(n) - 1) / codePageSize
+	for p := first; p <= last && p < uint64(len(c.code)); p++ {
+		c.code[p] = nil
+	}
+}
+
+// invalidateCodeOne is the single-page fast path for mode-width stores,
+// which never cross a page boundary check worth a loop.
+func (c *CPU) invalidateCodeOne(addr uint64, n int) {
+	if len(c.code) == 0 {
+		return
+	}
+	first := addr / codePageSize
+	if first < uint64(len(c.code)) {
+		c.code[first] = nil
+	}
+	if last := (addr + uint64(n) - 1) / codePageSize; last != first && last < uint64(len(c.code)) {
+		c.code[last] = nil
+	}
+}
+
+// predecode decodes forward from physical address phys, filling the
+// page's entries until the page ends, an already-decoded entry is
+// reached, or the bytes stop decoding — one decode pass per page, not one
+// per retired instruction. It returns the entry for phys. A decode error
+// at phys itself is returned (later errors just stop the fill — those
+// offsets may be data that is never executed). An instruction spanning
+// the page boundary is returned but not cached: invalidation of the
+// second page could not find it.
+func (c *CPU) predecode(phys uint64) (centry, error) {
+	if phys >= uint64(len(c.Mem)) {
+		// Fetch beyond physical memory: produce the decoder's error, as
+		// the legacy path does (no page exists to cache into).
+		_, err := isa.Decode(c.Mem, phys, c.Mode)
+		return centry{}, err
+	}
+	c.ensureCode()
+	mode := c.Mode
+	page := phys / codePageSize
+	pageEnd := (page + 1) * codePageSize
+	var pg *codePage // materialized just before the first entry write, so
+	// an uncacheable (page-spanning) instruction clones no shared page
+	// and leaves the new-pages flag alone
+	var ret centry
+	first := true
+	for p := phys; p < pageEnd; {
+		in, err := isa.Decode(c.Mem, p, mode)
+		if err != nil {
+			if first {
+				return centry{}, err
+			}
+			break
+		}
+		e := centryFrom(in, mode)
+		if p+uint64(in.Len) > pageEnd {
+			if first {
+				return e, nil // executable, not cacheable
+			}
+			break
+		}
+		if pg == nil {
+			pg = c.codePageFor(page)
+		}
+		slot := &pg.ents[p-page*codePageSize]
+		if !first && slot.n != 0 && slot.mode == mode {
+			break // rejoined an already-decoded run
+		}
+		*slot = e
+		if first {
+			ret = e
+			first = false
+		}
+		p += uint64(in.Len)
+	}
+	return ret, nil
+}
+
+// CodeCache is an immutable set of predecoded pages detached from a CPU,
+// held by Wasp's per-image registry and by snapshots so later runs of the
+// same image skip decoding entirely.
+type CodeCache struct {
+	pages []*codePage
+}
+
+// Empty reports whether the cache holds no pages.
+func (cc CodeCache) Empty() bool { return len(cc.pages) == 0 }
+
+// Pages reports the number of frozen pages (telemetry/tests).
+func (cc CodeCache) Pages() int {
+	n := 0
+	for _, pg := range cc.pages {
+		if pg != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge combines cc with other, returning the result. A page missing
+// from cc is filled; an existing page is replaced only when the newcomer
+// was decoded from the *same* source bytes and holds strictly more
+// entries (an input-dependent jump reached code the first freeze never
+// executed) — without the upgrade, shells adopting the sparse version
+// would clone, re-decode, and re-freeze that page on every run. Pages
+// frozen from different bytes (self-modified code) never displace the
+// registered version: the registered one matches the image's canonical
+// load content, which is what the next adopt verifies against. The
+// receiver's page slice is never mutated — readers may be iterating it
+// without a lock (AdoptCode runs outside the registry mutex), so a
+// combined result is built on a fresh slice.
+func (cc CodeCache) Merge(other CodeCache) CodeCache {
+	if cc.Empty() {
+		return other
+	}
+	better := func(cur, nw *codePage) bool {
+		if nw == nil {
+			return false
+		}
+		if cur == nil {
+			return true
+		}
+		return cur != nw && bytes.Equal(cur.src, nw.src) &&
+			nw.popCount() > cur.popCount()
+	}
+	changed := false
+	for i, pg := range other.pages {
+		if i < len(cc.pages) && better(cc.pages[i], pg) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return cc
+	}
+	pages := append([]*codePage(nil), cc.pages...)
+	for i, pg := range other.pages {
+		if i < len(pages) && better(pages[i], pg) {
+			pages[i] = pg
+		}
+	}
+	return CodeCache{pages: pages}
+}
+
+// popCount reports how many decoded entries the page holds.
+func (pg *codePage) popCount() int {
+	n := 0
+	for i := range pg.ents {
+		if pg.ents[i].n != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ShareCode freezes the CPU's current decoded pages and returns them as a
+// CodeCache. Frozen pages record the bytes they were decoded from and are
+// never mutated again — this CPU clones on its next write into one. The
+// caller is responsible for publishing the result with proper
+// synchronization (Wasp's registries do this under their locks).
+func (c *CPU) ShareCode() CodeCache {
+	if len(c.code) == 0 {
+		return CodeCache{}
+	}
+	pages := make([]*codePage, len(c.code))
+	any := false
+	for i, pg := range c.code {
+		if pg == nil {
+			continue
+		}
+		if !pg.shared {
+			lo := i * codePageSize
+			hi := lo + codePageSize
+			if hi > len(c.Mem) {
+				hi = len(c.Mem)
+			}
+			pg.src = append([]byte(nil), c.Mem[lo:hi]...)
+			pg.shared = true
+		}
+		pages[i] = pg
+		any = true
+	}
+	c.codeNew = false
+	if !any {
+		return CodeCache{}
+	}
+	return CodeCache{pages: pages}
+}
+
+// AdoptCode installs frozen pages into this CPU where it has none of its
+// own, skipping any page whose recorded source bytes no longer match the
+// CPU's memory — a stale decode is impossible by construction, whatever
+// path populated the memory (image load, snapshot restore, COW reset).
+func (c *CPU) AdoptCode(cc CodeCache) {
+	if cc.Empty() {
+		return
+	}
+	c.ensureCode()
+	n := len(cc.pages)
+	if len(c.code) < n {
+		n = len(c.code)
+	}
+	for i := 0; i < n; i++ {
+		pg := cc.pages[i]
+		if pg == nil || c.code[i] != nil {
+			continue
+		}
+		lo := i * codePageSize
+		if lo+len(pg.src) > len(c.Mem) {
+			continue
+		}
+		if !bytes.Equal(pg.src, c.Mem[lo:lo+len(pg.src)]) {
+			continue
+		}
+		c.code[i] = pg
+	}
+}
+
+// CodePages reports how many pages currently hold decoded entries
+// (tests and telemetry).
+func (c *CPU) CodePages() int {
+	n := 0
+	for _, pg := range c.code {
+		if pg != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -132,6 +132,12 @@ type CPU struct {
 	// access pays a full page walk).
 	NoTLB bool
 
+	// Legacy selects the original decode-every-instruction interpreter
+	// for Run. The differential determinism tests compare it against the
+	// default cached block-execution engine; virtual-cycle results must
+	// be bit-identical.
+	Legacy bool
+
 	// OnStore, when set, observes every guest store (physical address,
 	// length) — the VMM's dirty-page tracker for copy-on-write resets.
 	OnStore func(paddr uint64, n int)
@@ -140,6 +146,24 @@ type CPU struct {
 	gdtLoads   int
 	pendFirst  bool // next retired instruction is the first in long mode
 	sawStore32 bool // EvIdentMapStart latch
+
+	// Decoded-instruction cache (cache.go), one entry per physical page;
+	// codeNew marks decode state not yet published by ShareCode.
+	code    []*codePage
+	codeNew bool
+
+	// Hot-path translation caches in front of the tlb map. Both are
+	// strict subsets of state the architectural paths already hold, so
+	// they change no cycle accounting: the fetch window caches the
+	// current code page's linear mapping across sequential instructions
+	// (re-established on page cross, mode switch, CR3 write, or TLB
+	// flush), and the one-entry data TLB short-circuits the map lookup
+	// for the common same-page data access.
+	fetchOK              bool
+	fetchVBase, fetchVEnd uint64
+	fetchPBase           uint64
+	dtlbOK               bool
+	dtlbPage, dtlbBase   uint64
 }
 
 // New returns a powered-on CPU in real mode, with IP at entry, owning mem,
@@ -164,6 +188,7 @@ func (c *CPU) Reset(entry uint64) {
 		Mem:     c.Mem,
 		Clock:   c.Clock,
 		OnStore: c.OnStore,
+		Legacy:  c.Legacy,
 		IP:      entry,
 		Mode:    isa.Mode16,
 		tlb:     make(map[uint64]uint64),
@@ -194,14 +219,16 @@ func (c *CPU) Save() State {
 }
 
 // Restore reinstates a saved architectural state. The TLB is flushed, as
-// on a real mode/CR3 change.
+// on a real mode/CR3 change. The decoded-instruction cache is kept: its
+// entries are invalidated at write time, so whatever pages survive still
+// match memory (parked COW shells rely on this to skip re-decoding).
 func (c *CPU) Restore(s State) {
 	c.Regs, c.IP, c.Flags = s.Regs, s.IP, s.Flags
 	c.CR0, c.CR3, c.CR4, c.EFER = s.CR0, s.CR3, s.CR4, s.EFER
 	c.GDTBase, c.GDTLimit, c.Mode = s.GDTBase, s.GDTLimit, s.Mode
 	c.gdtLoads = s.GDTLoads
 	c.Halted = false
-	c.tlb = make(map[uint64]uint64)
+	c.FlushTLB()
 }
 
 func (c *CPU) fault(format string, args ...any) *Exit {

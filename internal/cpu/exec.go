@@ -7,19 +7,26 @@ import (
 	"repro/internal/isa"
 )
 
-// widthMask returns the value mask for the mode.
-func widthMask(m isa.Mode) uint64 {
-	switch m {
-	case isa.Mode16:
-		return 0xFFFF
-	case isa.Mode32:
-		return 0xFFFF_FFFF
-	default:
-		return ^uint64(0)
-	}
+// maskTab and signTab are sized and masked so the compiler can elide
+// bounds checks on the hot flag-computation path.
+var maskTab = [4]uint64{
+	isa.Mode16: 0xFFFF,
+	isa.Mode32: 0xFFFF_FFFF,
+	isa.Mode64: ^uint64(0),
+	3:          ^uint64(0),
 }
 
-func signBit(m isa.Mode) uint64 { return 1 << (uint(m.Width())*8 - 1) }
+var signTab = [4]uint64{
+	isa.Mode16: 1 << 15,
+	isa.Mode32: 1 << 31,
+	isa.Mode64: 1 << 63,
+	3:          1 << 63,
+}
+
+// widthMask returns the value mask for the mode.
+func widthMask(m isa.Mode) uint64 { return maskTab[m&3] }
+
+func signBit(m isa.Mode) uint64 { return signTab[m&3] }
 
 // signedAt interprets v as a signed integer at the mode's width.
 func signedAt(v uint64, m isa.Mode) int64 {
@@ -130,6 +137,7 @@ func (c *CPU) Step() *Exit {
 		}
 		c.Clock.Advance(cycles.MemStore)
 		c.Mem[p] = byte(c.get(in.Src))
+		c.invalidateCodeOne(p, 1)
 		if c.OnStore != nil {
 			c.OnStore(p, 1)
 		}
@@ -426,13 +434,391 @@ func (c *CPU) Step() *Exit {
 
 // Run executes until a VM exit or until maxSteps instructions have
 // retired; exceeding the budget is a fault (runaway guest).
+//
+// The default engine executes straight-line blocks against the decoded-
+// instruction cache (cache.go): the fetch translation is established once
+// per code page and reused across sequential instructions, each
+// instruction's decode is a cache hit after the first visit to its page,
+// and the fixed per-instruction cycle costs are accumulated locally and
+// flushed to the clock only at observation points (boot-event marks, VM
+// exits, faults, delegated special instructions), so the virtual-cycle
+// results are bit-identical to the legacy per-step path — enforced by the
+// differential determinism tests. Setting Legacy selects the original
+// Step-per-instruction interpreter.
 func (c *CPU) Run(maxSteps uint64) *Exit {
-	for i := uint64(0); i < maxSteps; i++ {
-		if ex := c.Step(); ex != nil {
-			return ex
+	if c.Legacy {
+		for i := uint64(0); i < maxSteps; i++ {
+			if ex := c.Step(); ex != nil {
+				return ex
+			}
+		}
+		return c.fault("instruction budget (%d) exhausted at ip=%#x", maxSteps, c.IP)
+	}
+	return c.runCached(maxSteps)
+}
+
+// setFetchWindow caches the linear code mapping containing ip so
+// sequential fetches skip Translate entirely. The window is a pure host-
+// side cache of translations the architectural path just performed (and,
+// in long mode, of a mapping the tlb map now holds), so it is cycle-
+// neutral; it is invalidated by FlushTLB and after every delegated
+// special instruction (mode switches, CR3 writes).
+func (c *CPU) setFetchWindow(ip, phys uint64) {
+	switch c.Mode {
+	case isa.Mode16:
+		if ip < 1<<20 {
+			c.fetchOK, c.fetchVBase, c.fetchVEnd, c.fetchPBase = true, 0, 1<<20, 0
+		}
+	case isa.Mode32:
+		if ip < 1<<32 {
+			c.fetchOK, c.fetchVBase, c.fetchVEnd, c.fetchPBase = true, 0, 1<<32, 0
+		}
+	default:
+		if c.NoTLB {
+			return // every fetch must pay the full walk, as the ablation demands
+		}
+		vbase := ip &^ 0x1F_FFFF
+		c.fetchOK = true
+		c.fetchVBase = vbase
+		c.fetchVEnd = vbase + 1<<21
+		c.fetchPBase = phys - (ip - vbase)
+	}
+}
+
+// runCached is the block-execution engine. Rare instructions — everything
+// that can switch modes, flush translations, record a boot milestone, or
+// exit — are delegated to the legacy Step path after flushing the pending
+// cycle batch, so the tricky architectural transitions exist exactly once.
+func (c *CPU) runCached(maxSteps uint64) *Exit {
+	var pending uint64 // batched fixed costs not yet on the clock
+	flush := func() {
+		if pending != 0 {
+			c.Clock.Advance(pending)
+			pending = 0
 		}
 	}
+	// Mode-derived operand width and mask, refreshed only when the mode
+	// changes (which only delegated special instructions can do).
+	curMode := isa.Mode(0xFF)
+	var w, mask uint64
+	for steps := uint64(0); steps < maxSteps; steps++ {
+		if c.Halted {
+			flush()
+			return &Exit{Reason: ExitHalt}
+		}
+		if c.NoTLB && c.Mode == isa.Mode64 {
+			// TLB-off ablation: every fetch must charge a full walk, and
+			// a pre-translate before delegation would double-charge
+			// special instructions. Per-step execution is the ablation's
+			// measured configuration; run it exactly.
+			flush()
+			if ex := c.Step(); ex != nil {
+				return ex
+			}
+			continue
+		}
+		if c.pendFirst {
+			// First instruction after entering long mode: Step charges
+			// FirstInstr64 and records the milestone at the exact legacy
+			// clock position.
+			flush()
+			if ex := c.Step(); ex != nil {
+				return ex
+			}
+			c.fetchOK = false
+			continue
+		}
+		ip := c.IP
+		var phys uint64
+		if c.fetchOK && ip >= c.fetchVBase && ip < c.fetchVEnd {
+			phys = c.fetchPBase + (ip - c.fetchVBase)
+		} else {
+			p, err := c.Translate(ip, false)
+			if err != nil {
+				flush()
+				return c.fault("instruction fetch at %#x: %v", c.IP, err)
+			}
+			phys = p
+			c.setFetchWindow(ip, p)
+		}
+
+		var e centry
+		page := phys / codePageSize
+		if pg := c.codeAt(page); pg != nil {
+			e = pg.ents[phys-page*codePageSize]
+		}
+		if e.n == 0 || e.mode != c.Mode {
+			var derr error
+			e, derr = c.predecode(phys)
+			if derr != nil {
+				flush()
+				return &Exit{Reason: ExitFault, Err: derr}
+			}
+		}
+
+		if e.flag&fSpecial != 0 ||
+			(e.op == isa.STORE && !c.sawStore32 && c.Mode == isa.Mode32) {
+			// Delegate: Step re-translates (a cycle-free hit — the map
+			// was populated when the window was established) and
+			// re-decodes, then performs the full architectural sequence.
+			flush()
+			ex := c.Step()
+			c.fetchOK = false
+			if ex != nil {
+				return ex
+			}
+			continue
+		}
+
+		pending += uint64(e.cost)
+		next := ip + uint64(e.n)
+		if c.Mode != curMode {
+			curMode = c.Mode
+			w = uint64(curMode.Width())
+			mask = widthMask(curMode)
+		}
+		addrImm := e.imm & mask
+
+		switch e.op {
+		case isa.NOP, isa.CLI, isa.STI:
+
+		case isa.MOVI:
+			c.set(e.dst, e.imm)
+		case isa.MOV:
+			c.set(e.dst, c.get(e.src))
+
+		case isa.LOAD:
+			v, err := c.loadWord((c.get(e.src)+e.imm)&mask, c.Mode)
+			if err != nil {
+				flush()
+				return c.fault("%v", err)
+			}
+			c.set(e.dst, v)
+		case isa.STORE:
+			if err := c.storeWord((c.get(e.dst)+e.imm)&mask, c.get(e.src), c.Mode); err != nil {
+				flush()
+				return c.fault("%v", err)
+			}
+		case isa.LOADB:
+			p, err := c.Translate((c.get(e.src)+e.imm)&mask, false)
+			if err != nil {
+				flush()
+				return c.fault("%v", err)
+			}
+			if p >= uint64(len(c.Mem)) {
+				flush()
+				return c.fault("byte load beyond memory at %#x", p)
+			}
+			c.Clock.Advance(cycles.MemAccess)
+			c.set(e.dst, uint64(c.Mem[p]))
+		case isa.STOREB:
+			p, err := c.Translate((c.get(e.dst)+e.imm)&mask, true)
+			if err != nil {
+				flush()
+				return c.fault("%v", err)
+			}
+			if p >= uint64(len(c.Mem)) {
+				flush()
+				return c.fault("byte store beyond memory at %#x", p)
+			}
+			c.Clock.Advance(cycles.MemStore)
+			c.Mem[p] = byte(c.get(e.src))
+			c.invalidateCodeOne(p, 1)
+			if c.OnStore != nil {
+				c.OnStore(p, 1)
+			}
+
+		case isa.ADD:
+			a, b := c.get(e.dst), c.get(e.src)
+			r := a + b
+			c.setArith(r, a, b, false)
+			c.set(e.dst, r)
+		case isa.ADDI:
+			a := c.get(e.dst)
+			r := a + e.imm
+			c.setArith(r, a, e.imm, false)
+			c.set(e.dst, r)
+		case isa.SUB:
+			a, b := c.get(e.dst), c.get(e.src)
+			r := a - b
+			c.setArith(r, a, b, true)
+			c.set(e.dst, r)
+		case isa.SUBI:
+			a := c.get(e.dst)
+			r := a - e.imm
+			c.setArith(r, a, e.imm, true)
+			c.set(e.dst, r)
+		case isa.MUL:
+			r := c.get(e.dst) * c.get(e.src)
+			c.setLogic(r)
+			c.set(e.dst, r)
+		case isa.DIV, isa.MOD:
+			a := signedAt(c.get(e.dst), c.Mode)
+			b := signedAt(c.get(e.src), c.Mode)
+			if b == 0 {
+				flush()
+				return c.fault("divide by zero at %#x", c.IP)
+			}
+			var r int64
+			if e.op == isa.DIV {
+				r = a / b
+			} else {
+				r = a % b
+			}
+			c.setLogic(uint64(r))
+			c.set(e.dst, uint64(r))
+		case isa.AND:
+			r := c.get(e.dst) & c.get(e.src)
+			c.setLogic(r)
+			c.set(e.dst, r)
+		case isa.ANDI:
+			r := c.get(e.dst) & e.imm
+			c.setLogic(r)
+			c.set(e.dst, r)
+		case isa.OR:
+			r := c.get(e.dst) | c.get(e.src)
+			c.setLogic(r)
+			c.set(e.dst, r)
+		case isa.ORI:
+			r := c.get(e.dst) | e.imm
+			c.setLogic(r)
+			c.set(e.dst, r)
+		case isa.XOR:
+			r := c.get(e.dst) ^ c.get(e.src)
+			c.setLogic(r)
+			c.set(e.dst, r)
+		case isa.SHLV:
+			r := c.get(e.dst) << (c.get(e.src) & 63)
+			c.setLogic(r)
+			c.set(e.dst, r)
+		case isa.SHRV:
+			r := c.get(e.dst) >> (c.get(e.src) & 63)
+			c.setLogic(r)
+			c.set(e.dst, r)
+		case isa.SARV:
+			r := uint64(signedAt(c.get(e.dst), c.Mode) >> (c.get(e.src) & 63))
+			c.setLogic(r)
+			c.set(e.dst, r)
+		case isa.SHL:
+			r := c.get(e.dst) << (e.imm & 63)
+			c.setLogic(r)
+			c.set(e.dst, r)
+		case isa.SHR:
+			r := c.get(e.dst) >> (e.imm & 63)
+			c.setLogic(r)
+			c.set(e.dst, r)
+		case isa.SAR:
+			r := uint64(signedAt(c.get(e.dst), c.Mode) >> (e.imm & 63))
+			c.setLogic(r)
+			c.set(e.dst, r)
+		case isa.NEG:
+			a := c.get(e.dst)
+			r := -a
+			c.setArith(r, 0, a, true)
+			c.set(e.dst, r)
+		case isa.NOT:
+			c.set(e.dst, ^c.get(e.dst))
+		case isa.INC:
+			a := c.get(e.dst)
+			r := a + 1
+			c.setArith(r, a, 1, false)
+			c.set(e.dst, r)
+		case isa.DEC:
+			a := c.get(e.dst)
+			r := a - 1
+			c.setArith(r, a, 1, true)
+			c.set(e.dst, r)
+
+		case isa.CMP:
+			a, b := c.get(e.dst), c.get(e.src)
+			c.setArith(a-b, a, b, true)
+		case isa.CMPI:
+			a := c.get(e.dst)
+			c.setArith(a-e.imm, a, e.imm, true)
+
+		case isa.JMP:
+			next = addrImm
+		case isa.JZ:
+			if c.Flags.ZF {
+				next = addrImm
+			}
+		case isa.JNZ:
+			if !c.Flags.ZF {
+				next = addrImm
+			}
+		case isa.JL:
+			if c.Flags.SF != c.Flags.OF {
+				next = addrImm
+			}
+		case isa.JG:
+			if !c.Flags.ZF && c.Flags.SF == c.Flags.OF {
+				next = addrImm
+			}
+		case isa.JLE:
+			if c.Flags.ZF || c.Flags.SF != c.Flags.OF {
+				next = addrImm
+			}
+		case isa.JGE:
+			if c.Flags.SF == c.Flags.OF {
+				next = addrImm
+			}
+		case isa.JB:
+			if c.Flags.CF {
+				next = addrImm
+			}
+		case isa.JAE:
+			if !c.Flags.CF {
+				next = addrImm
+			}
+
+		case isa.CALL:
+			c.Regs[isa.RSP] -= w
+			if err := c.storeWord(c.Regs[isa.RSP], next, c.Mode); err != nil {
+				flush()
+				return c.fault("call push: %v", err)
+			}
+			next = addrImm
+		case isa.RET:
+			v, err := c.loadWord(c.Regs[isa.RSP], c.Mode)
+			if err != nil {
+				flush()
+				return c.fault("ret pop: %v", err)
+			}
+			c.Regs[isa.RSP] += w
+			next = v & widthMask(c.Mode)
+		case isa.PUSH:
+			c.Regs[isa.RSP] -= w
+			if err := c.storeWord(c.Regs[isa.RSP], c.get(e.dst), c.Mode); err != nil {
+				flush()
+				return c.fault("push: %v", err)
+			}
+		case isa.POP:
+			v, err := c.loadWord(c.Regs[isa.RSP], c.Mode)
+			if err != nil {
+				flush()
+				return c.fault("pop: %v", err)
+			}
+			c.Regs[isa.RSP] += w
+			c.set(e.dst, v)
+
+		default:
+			flush()
+			return c.fault("unimplemented opcode %v", e.op)
+		}
+
+		c.Retired++
+		c.IP = next
+	}
+	flush()
 	return c.fault("instruction budget (%d) exhausted at ip=%#x", maxSteps, c.IP)
+}
+
+// codeAt returns the decoded page at index page, or nil.
+func (c *CPU) codeAt(page uint64) *codePage {
+	if page < uint64(len(c.code)) {
+		return c.code[page]
+	}
+	return nil
 }
 
 // Fault is a convenience for VMM-side code to construct a fault exit.

@@ -41,7 +41,14 @@ func (c *CPU) Translate(vaddr uint64, write bool) (uint64, error) {
 	}
 	page := vaddr >> 21
 	if !c.NoTLB {
+		// One-entry cache in front of the map: a strict subset of the
+		// map's contents, so hit/miss accounting (and therefore cycle
+		// charges) are unchanged — only the host-side hash is skipped.
+		if c.dtlbOK && c.dtlbPage == page {
+			return c.dtlbBase | (vaddr & 0x1F_FFFF), nil
+		}
 		if base, ok := c.tlb[page]; ok {
+			c.dtlbOK, c.dtlbPage, c.dtlbBase = true, page, base
 			return base | (vaddr & 0x1F_FFFF), nil
 		}
 	}
@@ -52,6 +59,7 @@ func (c *CPU) Translate(vaddr uint64, write bool) (uint64, error) {
 	}
 	if !c.NoTLB {
 		c.tlb[page] = base
+		c.dtlbOK, c.dtlbPage, c.dtlbBase = true, page, base
 	}
 	return base | (vaddr & 0x1F_FFFF), nil
 }
@@ -133,6 +141,7 @@ func (c *CPU) WriteMem(vaddr uint64, b []byte) error {
 			return fmt.Errorf("write beyond memory at %#x", p)
 		}
 		c.Mem[p] = b[i]
+		c.invalidateCodeOne(p, 1)
 		if c.OnStore != nil {
 			c.OnStore(p, 1)
 		}
@@ -152,7 +161,7 @@ func (c *CPU) loadWord(vaddr uint64, mode isa.Mode) (uint64, error) {
 		return 0, fmt.Errorf("load beyond memory at %#x", p)
 	}
 	c.Clock.Advance(cycles.MemAccess)
-	return isa.Word(c.Mem[p:], mode), nil
+	return isa.Word(c.Mem[p:p+uint64(w)], mode), nil
 }
 
 // storeWord writes a mode-width word.
@@ -165,9 +174,8 @@ func (c *CPU) storeWord(vaddr uint64, v uint64, mode isa.Mode) error {
 	if p+uint64(w) > uint64(len(c.Mem)) {
 		return fmt.Errorf("store beyond memory at %#x", p)
 	}
-	var buf [8]byte
-	isa.PutWord(buf[:], mode, v)
-	copy(c.Mem[p:], buf[:w])
+	isa.PutWord(c.Mem[p:p+uint64(w)], mode, v)
+	c.invalidateCodeOne(p, w)
 	if c.OnStore != nil {
 		c.OnStore(p, w)
 	}
@@ -175,8 +183,14 @@ func (c *CPU) storeWord(vaddr uint64, v uint64, mode isa.Mode) error {
 	return nil
 }
 
-// FlushTLB drops all cached translations (CR3 writes, mode changes).
-func (c *CPU) FlushTLB() { c.tlb = make(map[uint64]uint64) }
+// FlushTLB drops all cached translations (CR3 writes, mode changes),
+// including the fetch window and the one-entry data TLB in front of the
+// map.
+func (c *CPU) FlushTLB() {
+	c.tlb = make(map[uint64]uint64)
+	c.fetchOK = false
+	c.dtlbOK = false
+}
 
 // TLBSize reports the number of cached large-page translations.
 func (c *CPU) TLBSize() int { return len(c.tlb) }

@@ -137,6 +137,11 @@ func (o *OneShot) Reset() { o.used = [NumHypercalls]bool{} }
 // GuestMem is the bounds-checked window a handler gets into the virtine's
 // memory. Handlers are trusted but must "take care to assume that inputs
 // have not been properly sanitized" (§3.2); every access is checked.
+//
+// The slice ReadGuest returns is only valid until the next ReadGuest on
+// the same GuestMem: implementations may reuse one scratch buffer across
+// calls so hypercall-heavy runs do not allocate per call. Handlers that
+// retain the data must copy it.
 type GuestMem interface {
 	ReadGuest(addr uint64, n int) ([]byte, error)
 	WriteGuest(addr uint64, b []byte) error

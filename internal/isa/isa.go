@@ -16,7 +16,10 @@
 // and the CPU decodes according to its current mode.
 package isa
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Reg names the sixteen general-purpose registers. The x86 aliases are
 // used throughout the toolchain; the hypercall ABI follows the SysV/Linux
@@ -130,17 +133,12 @@ func (m Mode) String() string {
 	return "mode?"
 }
 
+// widthTab is sized and masked so the compiler can elide the bounds
+// check; indices 3+ are unreachable (there are three modes).
+var widthTab = [4]int{Mode16: 2, Mode32: 4, Mode64: 8, 3: 8}
+
 // Width returns the operand width in bytes for the mode.
-func (m Mode) Width() int {
-	switch m {
-	case Mode16:
-		return 2
-	case Mode32:
-		return 4
-	default:
-		return 8
-	}
-}
+func (m Mode) Width() int { return widthTab[m&3] }
 
 // Op is a VX opcode.
 type Op uint8
@@ -290,23 +288,29 @@ func UnpackRegs(b byte) (dst, src Reg) { return Reg(b & 0x0F), Reg(b >> 4) }
 // PutWord encodes v at the mode's width into buf, little-endian, returning
 // the number of bytes written.
 func PutWord(buf []byte, m Mode, v uint64) int {
-	w := m.Width()
-	for i := 0; i < w; i++ {
-		buf[i] = byte(v >> (8 * i))
+	switch m {
+	case Mode16:
+		binary.LittleEndian.PutUint16(buf, uint16(v))
+		return 2
+	case Mode32:
+		binary.LittleEndian.PutUint32(buf, uint32(v))
+		return 4
+	default:
+		binary.LittleEndian.PutUint64(buf, v)
+		return 8
 	}
-	return w
 }
 
 // Word decodes a little-endian value of the mode's width. Values are
 // sign-extended to 64 bits: displacements and relative offsets need sign,
 // and addresses in 16/32-bit modes never have the top bit set in practice.
 func Word(buf []byte, m Mode) uint64 {
-	w := m.Width()
-	var v uint64
-	for i := 0; i < w; i++ {
-		v |= uint64(buf[i]) << (8 * i)
+	switch m {
+	case Mode16:
+		return uint64(int64(int16(binary.LittleEndian.Uint16(buf))))
+	case Mode32:
+		return uint64(int64(int32(binary.LittleEndian.Uint32(buf))))
+	default:
+		return binary.LittleEndian.Uint64(buf)
 	}
-	// sign-extend
-	shift := uint(64 - 8*w)
-	return uint64(int64(v<<shift) >> shift)
 }

@@ -3,6 +3,8 @@ package js
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // Engine lifecycle costs, calibrated so the Fig 14 native baseline —
@@ -33,6 +35,13 @@ type Engine struct {
 	charge func(uint64)
 	depth  int
 	closed bool
+
+	// pending batches virtual-cycle charges (node ticks, allocator
+	// work) and flushes them to the charge hook at public API
+	// boundaries. The sum reaching the clock is identical to per-node
+	// charging — nothing observes the clock mid-evaluation — but the
+	// hook is invoked once per Eval instead of once per AST node.
+	pending uint64
 }
 
 const maxCallDepth = 2000
@@ -43,12 +52,22 @@ func NewEngine(charge func(uint64)) *Engine {
 	e := &Engine{global: newScope(nil), charge: charge}
 	e.chargeCost(EngineInitCost)
 	e.installCore()
+	e.flushCharges()
 	return e
 }
 
 func (e *Engine) chargeCost(c uint64) {
 	if e.charge != nil {
-		e.charge(c)
+		e.pending += c
+	}
+}
+
+// flushCharges pushes batched costs to the charge hook. Every public
+// method that charges ends with one.
+func (e *Engine) flushCharges() {
+	if e.pending != 0 && e.charge != nil {
+		e.charge(e.pending)
+		e.pending = 0
 	}
 }
 
@@ -65,19 +84,19 @@ func (e *Engine) alloc(bytes int) {
 func (e *Engine) installCore() {
 	mathObj := &Object{Props: map[string]Value{
 		"floor": Builtin(func(args []Value) (Value, error) {
-			return math.Floor(argNum(args, 0)), nil
+			return numVal(math.Floor(argNum(args, 0))), nil
 		}),
 		"ceil": Builtin(func(args []Value) (Value, error) {
-			return math.Ceil(argNum(args, 0)), nil
+			return numVal(math.Ceil(argNum(args, 0))), nil
 		}),
 		"abs": Builtin(func(args []Value) (Value, error) {
-			return math.Abs(argNum(args, 0)), nil
+			return numVal(math.Abs(argNum(args, 0))), nil
 		}),
 		"min": Builtin(func(args []Value) (Value, error) {
-			return math.Min(argNum(args, 0), argNum(args, 1)), nil
+			return numVal(math.Min(argNum(args, 0), argNum(args, 1))), nil
 		}),
 		"max": Builtin(func(args []Value) (Value, error) {
-			return math.Max(argNum(args, 0), argNum(args, 1)), nil
+			return numVal(math.Max(argNum(args, 0), argNum(args, 1))), nil
 		}),
 	}}
 	strObj := &Object{Props: map[string]Value{
@@ -100,10 +119,55 @@ func (e *Engine) InstallBindings(bindings map[string]Builtin) {
 	for name, fn := range bindings {
 		e.global.define(name, fn)
 	}
+	e.flushCharges()
 }
 
 // Bind registers one global value without the bulk-bindings charge.
 func (e *Engine) Bind(name string, v Value) { e.global.define(name, v) }
+
+// progCache holds parsed programs keyed by source text — the JS-level
+// analogue of the CPU's predecoded instruction cache. Parsing is pure and
+// the AST is never mutated by evaluation, so a program is decoded once
+// per process instead of once per Eval; the per-token parse cost is still
+// charged to every run's clock (virtual cycles model the guest engine,
+// which really does re-parse). The cache is bounded; at capacity an
+// arbitrary entry is evicted for the newcomer, so long-lived processes
+// with many distinct sources keep a rotating working set instead of
+// locking in the first programs forever.
+var (
+	progCache     sync.Map // source string → *cachedProg
+	progCacheSize atomic.Int32
+)
+
+const progCacheMax = 64
+
+type cachedProg struct {
+	prog  []node
+	ntoks int
+}
+
+func parseCached(src string) ([]node, int, error) {
+	if c, ok := progCache.Load(src); ok {
+		cp := c.(*cachedProg)
+		return cp.prog, cp.ntoks, nil
+	}
+	prog, ntoks, err := parse(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	if progCacheSize.Load() >= progCacheMax {
+		progCache.Range(func(k, _ any) bool {
+			if _, ok := progCache.LoadAndDelete(k); ok {
+				progCacheSize.Add(-1)
+			}
+			return false
+		})
+	}
+	if _, loaded := progCache.LoadOrStore(src, &cachedProg{prog: prog, ntoks: ntoks}); !loaded {
+		progCacheSize.Add(1)
+	}
+	return prog, ntoks, nil
+}
 
 // Eval parses and evaluates src in the engine's global scope, returning
 // the value of the last statement.
@@ -111,11 +175,12 @@ func (e *Engine) Eval(src string) (Value, error) {
 	if e.closed {
 		return nil, fmt.Errorf("js: engine used after Close")
 	}
-	prog, ntoks, err := parse(src)
+	prog, ntoks, err := parseCached(src)
 	if err != nil {
 		return nil, err
 	}
 	e.chargeCost(uint64(ntoks) * ParseTokenCost)
+	defer e.flushCharges()
 	v, err := e.evalProgram(prog, e.global)
 	if err != nil {
 		if _, ok := err.(returnSignal); ok {
@@ -132,6 +197,7 @@ func (e *Engine) CallFunction(name string, args ...Value) (Value, error) {
 	if !ok {
 		return nil, fmt.Errorf("js: no function %q", name)
 	}
+	defer e.flushCharges()
 	return e.apply(fn, args, 0)
 }
 
@@ -142,6 +208,7 @@ func (e *Engine) Close() {
 	if !e.closed {
 		e.chargeCost(TeardownCost)
 		e.closed = true
+		e.flushCharges()
 	}
 }
 

@@ -26,19 +26,29 @@ type Closure struct {
 // Builtin is a native binding.
 type Builtin func(args []Value) (Value, error)
 
+// scope is a lexical environment. Bindings live in parallel slices
+// rather than a map: scopes are small (a handful of locals), most lookups
+// hit the innermost frame, and — because cached ASTs reuse the same name
+// string across evaluations — the comparisons usually short-circuit on
+// pointer equality. This removes a map allocation per block/call entry
+// and the string hashing on every variable access, the two hottest
+// allocation/lookup sites in the evaluator.
 type scope struct {
-	vars   map[string]Value
+	names  []string
+	vals   []Value
 	parent *scope
 }
 
 func newScope(parent *scope) *scope {
-	return &scope{vars: make(map[string]Value), parent: parent}
+	return &scope{parent: parent}
 }
 
 func (s *scope) get(name string) (Value, bool) {
 	for c := s; c != nil; c = c.parent {
-		if v, ok := c.vars[name]; ok {
-			return v, true
+		for i, n := range c.names {
+			if n == name {
+				return c.vals[i], true
+			}
 		}
 	}
 	return nil, false
@@ -46,15 +56,65 @@ func (s *scope) get(name string) (Value, bool) {
 
 func (s *scope) set(name string, v Value) {
 	for c := s; c != nil; c = c.parent {
-		if _, ok := c.vars[name]; ok {
-			c.vars[name] = v
+		for i, n := range c.names {
+			if n == name {
+				c.vals[i] = v
+				return
+			}
+		}
+	}
+	s.define(name, v) // implicit global-ish definition
+}
+
+func (s *scope) define(name string, v Value) {
+	for i, n := range s.names {
+		if n == name {
+			s.vals[i] = v
 			return
 		}
 	}
-	s.vars[name] = v // implicit global-ish definition
+	if s.names == nil {
+		// First binding: size for a typical frame up front so the
+		// common few-locals scope grows its slices exactly once.
+		s.names = make([]string, 0, 4)
+		s.vals = make([]Value, 0, 4)
+	}
+	s.names = append(s.names, name)
+	s.vals = append(s.vals, v)
 }
 
-func (s *scope) define(name string, v Value) { s.vars[name] = v }
+// smallNums pre-boxes the integer Values in [-1, 4096): char codes,
+// indices, shift/mask intermediates — the numbers hot JS loops produce.
+// Converting a float64 to the Value interface allocates 8 bytes on every
+// conversion; returning a pre-boxed Value does not, and the values are
+// indistinguishable to the evaluator.
+const smallNumMax = 4096
+
+var smallNums = func() [smallNumMax + 1]Value {
+	var a [smallNumMax + 1]Value
+	for i := range a {
+		a[i] = float64(i - 1)
+	}
+	return a
+}()
+
+// charVals pre-boxes the 256 one-byte strings charAt/indexing produce.
+var charVals = func() [256]Value {
+	var a [256]Value
+	for i := range a {
+		a[i] = string(rune(i))
+	}
+	return a
+}()
+
+// numVal boxes a float64 as a Value, reusing pre-boxed small integers.
+func numVal(f float64) Value {
+	if i := int(f); float64(i) == f && i >= -1 && i < smallNumMax &&
+		!(i == 0 && math.Signbit(f)) {
+		return smallNums[i+1]
+	}
+	return f
+}
 
 // control-flow signals travel as errors.
 type breakSignal struct{}
@@ -96,7 +156,7 @@ func (e *Engine) eval(n node, env *scope) (Value, error) {
 	e.tick()
 	switch x := n.(type) {
 	case *numLit:
-		return x.V, nil
+		return numVal(x.V), nil
 	case *strLit:
 		return x.V, nil
 	case *boolLit:
@@ -232,11 +292,11 @@ func (e *Engine) eval(n node, env *scope) (Value, error) {
 		}
 		switch x.Op {
 		case "-":
-			return -toNum(v), nil
+			return numVal(-toNum(v)), nil
 		case "!":
 			return !truthy(v), nil
 		case "~":
-			return float64(^toInt32(v)), nil
+			return numVal(float64(^toInt32(v))), nil
 		case "typeof":
 			return typeOf(v), nil
 		}
@@ -267,13 +327,13 @@ func (e *Engine) eval(n node, env *scope) (Value, error) {
 		} else {
 			nv = n - 1
 		}
-		if err := e.writeLValue(x.X, env, nv); err != nil {
+		if err := e.writeLValue(x.X, env, numVal(nv)); err != nil {
 			return nil, err
 		}
 		if x.Postfix {
-			return n, nil
+			return numVal(n), nil
 		}
-		return nv, nil
+		return numVal(nv), nil
 	case *index:
 		base, err := e.eval(x.X, env)
 		if err != nil {
@@ -344,27 +404,27 @@ func (e *Engine) binop(op string, l, r Value, line int) (Value, error) {
 			e.alloc(len(ls) + 8)
 			return ls + rs, nil
 		}
-		return toNum(l) + toNum(r), nil
+		return numVal(toNum(l) + toNum(r)), nil
 	case "-":
-		return toNum(l) - toNum(r), nil
+		return numVal(toNum(l) - toNum(r)), nil
 	case "*":
-		return toNum(l) * toNum(r), nil
+		return numVal(toNum(l) * toNum(r)), nil
 	case "/":
-		return toNum(l) / toNum(r), nil
+		return numVal(toNum(l) / toNum(r)), nil
 	case "%":
-		return math.Mod(toNum(l), toNum(r)), nil
+		return numVal(math.Mod(toNum(l), toNum(r))), nil
 	case "&":
-		return float64(toInt32(l) & toInt32(r)), nil
+		return numVal(float64(toInt32(l) & toInt32(r))), nil
 	case "|":
-		return float64(toInt32(l) | toInt32(r)), nil
+		return numVal(float64(toInt32(l) | toInt32(r))), nil
 	case "^":
-		return float64(toInt32(l) ^ toInt32(r)), nil
+		return numVal(float64(toInt32(l) ^ toInt32(r))), nil
 	case "<<":
-		return float64(toInt32(l) << (uint32(toInt32(r)) & 31)), nil
+		return numVal(float64(toInt32(l) << (uint32(toInt32(r)) & 31))), nil
 	case ">>":
-		return float64(toInt32(l) >> (uint32(toInt32(r)) & 31)), nil
+		return numVal(float64(toInt32(l) >> (uint32(toInt32(r)) & 31))), nil
 	case ">>>":
-		return float64(uint32(toInt32(l)) >> (uint32(toInt32(r)) & 31)), nil
+		return numVal(float64(uint32(toInt32(l)) >> (uint32(toInt32(r)) & 31))), nil
 	case "==", "===":
 		return jsEquals(l, r), nil
 	case "!=", "!==":
@@ -492,7 +552,7 @@ func (e *Engine) indexValue(base, idx Value, line int) (Value, error) {
 		if i < 0 || i >= len(b) {
 			return nil, nil
 		}
-		return string(b[i]), nil
+		return charVals[b[i]], nil
 	case *Object:
 		return b.Props[ToString(idx)], nil
 	}
@@ -503,12 +563,12 @@ func (e *Engine) memberValue(base Value, name string, line int) (Value, error) {
 	switch b := base.(type) {
 	case string:
 		if name == "length" {
-			return float64(len(b)), nil
+			return numVal(float64(len(b))), nil
 		}
 		return boundMethod{recv: b, name: name}, nil
 	case *Array:
 		if name == "length" {
-			return float64(len(b.Elems)), nil
+			return numVal(float64(len(b.Elems))), nil
 		}
 		return boundMethod{recv: b, name: name}, nil
 	case *Object:
@@ -521,10 +581,49 @@ func (e *Engine) memberValue(base Value, name string, line int) (Value, error) {
 }
 
 func (e *Engine) evalCall(x *call, env *scope) (Value, error) {
+	// Method-call fast path: a member callee on a string/array receiver
+	// always resolves to a bound method (memberValue has no other
+	// outcome for those types), so dispatch it directly instead of
+	// boxing a boundMethod through the Value interface — an allocation
+	// per call in the hottest loops (s.charAt, s.charCodeAt). The node
+	// ticks match the generic path exactly: one for the member node,
+	// then its base and the arguments.
+	if m, ok := x.Fn.(*member); ok && m.Name != "length" {
+		e.tick() // the member node's own evaluation tick
+		base, err := e.eval(m.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch base.(type) {
+		case string, *Array:
+			args, err := e.evalArgs(x, env)
+			if err != nil {
+				return nil, err
+			}
+			return e.callMethod(boundMethod{recv: base, name: m.Name}, args, x.line())
+		}
+		fnv, err := e.memberValue(base, m.Name, m.line())
+		if err != nil {
+			return nil, err
+		}
+		args, err := e.evalArgs(x, env)
+		if err != nil {
+			return nil, err
+		}
+		return e.apply(fnv, args, x.line())
+	}
 	fnv, err := e.eval(x.Fn, env)
 	if err != nil {
 		return nil, err
 	}
+	args, err := e.evalArgs(x, env)
+	if err != nil {
+		return nil, err
+	}
+	return e.apply(fnv, args, x.line())
+}
+
+func (e *Engine) evalArgs(x *call, env *scope) ([]Value, error) {
 	args := make([]Value, len(x.Args))
 	for i, a := range x.Args {
 		v, err := e.eval(a, env)
@@ -533,7 +632,7 @@ func (e *Engine) evalCall(x *call, env *scope) (Value, error) {
 		}
 		args[i] = v
 	}
-	return e.apply(fnv, args, x.line())
+	return args, nil
 }
 
 func (e *Engine) apply(fnv Value, args []Value, line int) (Value, error) {
@@ -580,14 +679,14 @@ func (e *Engine) callMethod(m boundMethod, args []Value, line int) (Value, error
 			if i < 0 || i >= len(recv) {
 				return math.NaN(), nil
 			}
-			return float64(recv[i]), nil
+			return smallNums[int(recv[i])+1], nil
 		case "charAt":
 			i := int(argNum(args, 0))
 			if i < 0 || i >= len(recv) {
 				return "", nil
 			}
 			e.alloc(1)
-			return string(recv[i]), nil
+			return charVals[recv[i]], nil
 		case "substring":
 			a := int(argNum(args, 0))
 			b := len(recv)
@@ -603,9 +702,9 @@ func (e *Engine) callMethod(m boundMethod, args []Value, line int) (Value, error
 			return recv[a:b], nil
 		case "indexOf":
 			if len(args) < 1 {
-				return float64(-1), nil
+				return numVal(-1), nil
 			}
-			return float64(strings.Index(recv, ToString(args[0]))), nil
+			return numVal(float64(strings.Index(recv, ToString(args[0])))), nil
 		case "split":
 			sep := ""
 			if len(args) > 0 {
@@ -630,7 +729,7 @@ func (e *Engine) callMethod(m boundMethod, args []Value, line int) (Value, error
 		case "push":
 			recv.Elems = append(recv.Elems, args...)
 			e.alloc(8 * len(args))
-			return float64(len(recv.Elems)), nil
+			return numVal(float64(len(recv.Elems))), nil
 		case "pop":
 			if len(recv.Elems) == 0 {
 				return nil, nil

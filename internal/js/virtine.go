@@ -143,9 +143,9 @@ func clientBindings() map[string]Builtin {
 		"log": func(args []Value) (Value, error) { return nil, nil },
 		"len": func(args []Value) (Value, error) {
 			if len(args) == 0 {
-				return float64(0), nil
+				return numVal(0), nil
 			}
-			return float64(len(ToString(args[0]))), nil
+			return numVal(float64(len(ToString(args[0])))), nil
 		},
 	}
 }

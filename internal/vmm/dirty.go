@@ -1,5 +1,7 @@
 package vmm
 
+import "math/bits"
+
 // Dirty-page tracking supports the copy-on-write virtine reset that §7.2
 // anticipates ("We expect this cost to drop when using copy-on-write
 // mechanisms to reset a virtine, as in SEUSS"): instead of memcpy-ing the
@@ -16,7 +18,23 @@ func (c *Context) initDirty() {
 	c.dirty = make([]uint64, (pages+63)/64)
 }
 
-// MarkDirty records that [addr, addr+n) was written.
+// HostWrite records a host-side write into guest memory (image loads,
+// argument marshalling, hypercall handler writes): it flushes the vCPU's
+// decoded-code cache for exactly the touched pages, then marks the pages
+// dirty. Guest stores do not come through here — the CPU's own store
+// paths invalidate before the OnStore hook fires, so they pay the bitmap
+// update (MarkDirty) only.
+func (c *Context) HostWrite(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	c.CPU.InvalidateCode(addr, n)
+	c.MarkDirty(addr, n)
+}
+
+// MarkDirty records that [addr, addr+n) was written. Code-cache
+// invalidation is the writer's responsibility (the CPU's store paths do
+// it themselves; host writers use HostWrite).
 func (c *Context) MarkDirty(addr uint64, n int) {
 	if n <= 0 || c.dirty == nil {
 		return
@@ -25,9 +43,15 @@ func (c *Context) MarkDirty(addr uint64, n int) {
 	last := (addr + uint64(n) - 1) / PageSize
 	for p := first; p <= last; p++ {
 		w := p / 64
-		if int(w) < len(c.dirty) {
-			c.dirty[w] |= 1 << (p % 64)
+		if int(w) >= len(c.dirty) {
+			break
 		}
+		if c.dirty[w] == ^uint64(0) {
+			// Fully-dirty word: skip straight to the next word.
+			p = (w+1)*64 - 1
+			continue
+		}
+		c.dirty[w] |= 1 << (p % 64)
 	}
 }
 
@@ -38,17 +62,17 @@ func (c *Context) ClearDirty() {
 	}
 }
 
-// DirtyPages returns the indices of dirty pages, ascending.
+// DirtyPages returns the indices of dirty pages, ascending. The output is
+// presized from a popcount pass so the append loop never reallocates.
 func (c *Context) DirtyPages() []int {
-	var out []int
-	for w, bits := range c.dirty {
-		if bits == 0 {
-			continue
-		}
-		for b := 0; b < 64; b++ {
-			if bits&(1<<b) != 0 {
-				out = append(out, w*64+b)
-			}
+	n := c.DirtyCount()
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for w, word := range c.dirty {
+		for ; word != 0; word &= word - 1 {
+			out = append(out, w*64+bits.TrailingZeros64(word))
 		}
 	}
 	return out
@@ -57,10 +81,8 @@ func (c *Context) DirtyPages() []int {
 // DirtyCount returns the number of dirty pages.
 func (c *Context) DirtyCount() int {
 	n := 0
-	for _, bits := range c.dirty {
-		for ; bits != 0; bits &= bits - 1 {
-			n++
-		}
+	for _, word := range c.dirty {
+		n += bits.OnesCount64(word)
 	}
 	return n
 }

@@ -105,7 +105,7 @@ func (c *Context) Load(image []byte, origin, entry uint64, mode isa.Mode) error 
 		return fmt.Errorf("vmm: image (%d bytes at %#x) exceeds guest memory (%d)", len(image), origin, len(c.Mem))
 	}
 	copy(c.Mem[origin:], image)
-	c.MarkDirty(origin, len(image))
+	c.HostWrite(origin, len(image))
 	c.Clock.Advance(cycles.MemcpyCost(len(image)))
 	c.CPU.Reset(entry)
 	c.CPU.OnStore = c.MarkDirty

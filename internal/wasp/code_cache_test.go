@@ -1,0 +1,88 @@
+package wasp
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cycles"
+	"repro/internal/guest"
+	"repro/internal/hypercall"
+)
+
+// A hypercall handler that writes into a code page (here: recv filling a
+// buffer that overlaps the instruction stream) must flush the decoded
+// cache for that page — the guest then executes the received bytes, as
+// on real hardware. This is the host-write half of the self-modifying
+// code story; vmm.Context.HostWrite carries the invalidation.
+func TestHypercallWriteIntoCodePage(t *testing.T) {
+	src := guest.WrapLongMode(`
+	movi rdi, 3
+	movi rsi, patch
+	movi rdx, 10
+	out 0x07, rax
+patch:
+	movi rax, 111
+	mov rdi, rax
+	out 0x00, rdi
+	hlt
+`)
+	img := guest.MustFromAsm("hc-code-write", src)
+
+	// The payload is the encoding of `movi rax, 222`, exactly the size
+	// of the instruction it overwrites.
+	patch, err := asm.Assemble(".bits 64\n\tmovi rax, 222\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patch.Code) != 10 {
+		t.Fatalf("patch encoding is %d bytes, want 10", len(patch.Code))
+	}
+
+	for _, legacy := range []bool{false, true} {
+		w := New(WithLegacyInterp(legacy))
+		for i := 0; i < 3; i++ { // repeat: later runs adopt cached pages
+			env := hypercall.NewEnv()
+			env.NetIn = append([]byte(nil), patch.Code...)
+			res, err := w.Run(img, RunConfig{
+				Policy: hypercall.MaskOf(hypercall.NrRecv),
+				Env:    env,
+			}, cycles.NewClock())
+			if err != nil {
+				t.Fatalf("legacy=%v run %d: %v", legacy, i, err)
+			}
+			if res.ExitCode != 222 {
+				t.Fatalf("legacy=%v run %d: exit code %d, want 222 (stale decode executed)",
+					legacy, i, res.ExitCode)
+			}
+		}
+	}
+}
+
+// Without the incoming payload the unpatched instruction must run — a
+// guard that the test above really exercises the patched path.
+func TestHypercallWriteIntoCodePageBaseline(t *testing.T) {
+	src := guest.WrapLongMode(`
+	movi rdi, 3
+	movi rsi, patch
+	movi rdx, 10
+	out 0x07, rax
+patch:
+	movi rax, 111
+	mov rdi, rax
+	out 0x00, rdi
+	hlt
+`)
+	img := guest.MustFromAsm("hc-code-write-base", src)
+	w := New()
+	env := hypercall.NewEnv() // empty NetIn: recv writes nothing
+	res, err := w.Run(img, RunConfig{
+		Policy: hypercall.MaskOf(hypercall.NrRecv),
+		Env:    env,
+	}, cycles.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 111 {
+		t.Fatalf("exit code %d, want 111", res.ExitCode)
+	}
+}

@@ -33,7 +33,7 @@ type NativeCtx struct {
 	cfg      *RunConfig
 	clk      *cycles.Clock
 	env      *hypercall.Env
-	gm       guestMem
+	gm       *guestMem
 	res      *Result
 	restored any
 }

@@ -54,6 +54,9 @@ type Result struct {
 	// Entries and IOExits count guest entries and hypercall exits.
 	Entries uint64
 	IOExits uint64
+	// Retired counts guest instructions retired by this run (native
+	// workloads retire only their boot stub).
+	Retired uint64
 	// BootEvents are the CPU's Table 1 milestone timestamps (absolute
 	// clock values; subtract GuestEntry for in-guest offsets).
 	BootEvents [cpu.NumEvents]uint64
@@ -64,6 +67,10 @@ type Result struct {
 	// COWPages is the number of pages a copy-on-write reset copied
 	// back (0 when the full snapshot was copied).
 	COWPages int
+
+	// retBuf backs Ret for the common small-RetBytes case so the
+	// copy-out does not allocate separately from the Result itself.
+	retBuf [64]byte
 }
 
 const defaultMaxSteps = 200_000_000
@@ -106,6 +113,7 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 	if ctx == nil {
 		ctx = w.acquire(memBytes, clk)
 	}
+	ctx.CPU.Legacy = w.legacyInterp
 	parked := false
 	defer func() {
 		if !parked {
@@ -114,6 +122,7 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 	}()
 
 	ctx.FirstEntry = 0
+	retired0 := ctx.CPU.Retired
 	res := &Result{}
 	var snap *snapshot
 	if cfg.Snapshot && w.snapEnable {
@@ -127,7 +136,10 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 		if resident {
 			// COW reset (§7.2): the context already holds the snapshot
 			// image; copy back only the pages dirtied since the
-			// snapshot point.
+			// snapshot point. Each restored page's decoded code must be
+			// invalidated here: the write-time invalidation only covered
+			// entries that existed when the guest dirtied the page, not
+			// decodes re-created afterwards from the modified bytes.
 			pages := ctx.DirtyPages()
 			for _, p := range pages {
 				lo := p * vmm.PageSize
@@ -137,6 +149,7 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 				}
 				if lo < len(snap.mem) {
 					copy(ctx.Mem[lo:hi], snap.mem[lo:hi])
+					ctx.CPU.InvalidateCode(uint64(lo), hi-lo)
 				}
 			}
 			clk.Advance(cycles.MemcpyCost(len(pages) * vmm.PageSize))
@@ -163,17 +176,27 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 		clk.Advance(cycles.GuestLoadSetup)
 	}
 
+	// Adopt the image's predecoded code pages (decode once per image,
+	// not once per run). Adoption verifies page content against guest
+	// memory, so it is sound for cold loads, snapshot restores, and COW
+	// resets alike; under the legacy interpreter the cache is unused.
+	if !w.legacyInterp {
+		if cc := w.codes.get(img.Name); !cc.Empty() {
+			ctx.CPU.AdoptCode(cc)
+		}
+	}
+
 	// Marshal arguments at guest.ArgAddr (§6.1).
 	if len(cfg.Args) > 0 {
 		if len(cfg.Args) > guest.ArgMax {
 			return nil, fmt.Errorf("wasp: argument blob %d exceeds %d", len(cfg.Args), guest.ArgMax)
 		}
 		copy(ctx.Mem[guest.ArgAddr:], cfg.Args)
-		ctx.MarkDirty(guest.ArgAddr, len(cfg.Args))
+		ctx.HostWrite(guest.ArgAddr, len(cfg.Args))
 		clk.Advance(cycles.MemcpyCost(len(cfg.Args)))
 	}
 
-	gm := guestMem{mem: ctx.Mem, clk: clk, mark: ctx.MarkDirty}
+	gm := &guestMem{mem: ctx.Mem, clk: clk, mark: ctx.HostWrite}
 
 	// Native images restored from a post-boot snapshot skip the CPU
 	// entirely; otherwise run the guest (boot stub or full program).
@@ -207,7 +230,13 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 		if cfg.RetBytes > guest.RetMax {
 			return nil, fmt.Errorf("wasp: return size %d exceeds %d", cfg.RetBytes, guest.RetMax)
 		}
-		res.Ret = append([]byte(nil), ctx.Mem[guest.RetAddr:guest.RetAddr+uint64(cfg.RetBytes)]...)
+		src := ctx.Mem[guest.RetAddr : guest.RetAddr+uint64(cfg.RetBytes)]
+		if cfg.RetBytes <= len(res.retBuf) {
+			copy(res.retBuf[:], src)
+			res.Ret = res.retBuf[:cfg.RetBytes:cfg.RetBytes]
+		} else {
+			res.Ret = append([]byte(nil), src...)
+		}
 	}
 	res.ExitCode = cfg.Env.ExitCode
 	res.DataOut = cfg.Env.DataOut
@@ -223,9 +252,17 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 	}
 	res.Entries = ctx.Entries
 	res.IOExits = ctx.ExitsIO
+	res.Retired = ctx.CPU.Retired - retired0
 	res.BootEvents = ctx.CPU.Events
 	res.GuestEntry = ctx.FirstEntry
 	res.Cycles = clk.Now() - start
+	// Harvest newly decoded pages into the per-image registry so the
+	// next run — on any shell — starts predecoded. On the warm path
+	// every page was adopted and nothing new was decoded, so the
+	// freeze/merge (and its registry write lock) is skipped entirely.
+	if !w.legacyInterp && ctx.CPU.CodeNew() {
+		w.codes.merge(img.Name, ctx.CPU.ShareCode())
+	}
 	if cowEligible && w.HasSnapshot(img.Name) {
 		parked = true
 		w.parkCOWShell(img.Name, ctx)
@@ -235,7 +272,7 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 
 // runGuest drives the vCPU until halt or guest exit(), interposing on
 // every hypercall.
-func (w *Wasp) runGuest(ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm guestMem, res *Result, clk *cycles.Clock) error {
+func (w *Wasp) runGuest(ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm *guestMem, res *Result, clk *cycles.Clock) error {
 	for {
 		ex := ctx.Run(cfg.MaxSteps)
 		switch ex.Reason {
@@ -260,7 +297,7 @@ func (w *Wasp) runGuest(ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm g
 // serviceHypercall is the interposition layer (§5.1): decode the call
 // from the vCPU registers, consult the client policy, dispatch to the
 // handler, write the result into RAX, and resume.
-func (w *Wasp) serviceHypercall(ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm guestMem, res *Result, ex *cpu.Exit, clk *cycles.Clock) (done bool, err error) {
+func (w *Wasp) serviceHypercall(ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm *guestMem, res *Result, ex *cpu.Exit, clk *cycles.Clock) (done bool, err error) {
 	clk.Advance(cycles.HypercallDispatch)
 	regs := &ctx.CPU.Regs
 	call := hypercall.Args{

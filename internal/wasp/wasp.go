@@ -29,6 +29,7 @@ package wasp
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cpu"
@@ -45,13 +46,15 @@ type Wasp struct {
 	pools     shellPools
 	snapshots snapRegistry
 	cowShells cowRegistry
+	codes     codeRegistry
 	cleaner   *Cleaner // non-nil iff pooling && asyncClean
 
-	pooling    bool
-	asyncClean bool
-	snapEnable bool
-	cow        bool
-	platform   vmm.Platform
+	pooling      bool
+	asyncClean   bool
+	snapEnable   bool
+	cow          bool
+	legacyInterp bool
+	platform     vmm.Platform
 
 	poolDrops atomic.Uint64 // sync-clean shells dropped at the capacity bound
 }
@@ -95,6 +98,13 @@ func WithSnapshotting(on bool) Option { return func(w *Wasp) { w.snapEnable = on
 // WithPlatform selects the hypervisor backend (Fig 5): vmm.KVM{} on
 // Linux, vmm.HyperV{} on Windows. Default is KVM.
 func WithPlatform(p vmm.Platform) Option { return func(w *Wasp) { w.platform = p } }
+
+// WithLegacyInterp selects the original decode-every-instruction guest
+// interpreter instead of the predecoded block-execution engine, and
+// disables the per-image decoded-code registry. Virtual-cycle results are
+// bit-identical either way (the differential determinism tests enforce
+// it); only host wall-clock differs.
+func WithLegacyInterp(on bool) Option { return func(w *Wasp) { w.legacyInterp = on } }
 
 // WithCOW enables copy-on-write snapshot resets (§7.2's anticipated
 // optimization, as in SEUSS): a context stays bound to its image between
@@ -282,21 +292,30 @@ type guestMem struct {
 	mem  []byte
 	clk  *cycles.Clock
 	mark func(addr uint64, n int) // dirty-page tracking hook (may be nil)
+
+	// scratch is reused across ReadGuest calls so a hypercall-heavy run
+	// pays one buffer allocation, not one per call. The GuestMem
+	// contract permits this: the returned slice is only valid until the
+	// next ReadGuest.
+	scratch []byte
 }
 
-func (g guestMem) ReadGuest(addr uint64, n int) ([]byte, error) {
+func (g *guestMem) ReadGuest(addr uint64, n int) ([]byte, error) {
 	// Overflow-safe bounds check: addr+n can wrap for huge addr, so
 	// compare the remaining window instead of the sum.
 	if n < 0 || addr > uint64(len(g.mem)) || uint64(n) > uint64(len(g.mem))-addr {
 		return nil, fmt.Errorf("wasp: guest read [%#x,+%d) out of bounds", addr, n)
 	}
 	g.clk.Advance(cycles.MemcpyCost(n))
-	out := make([]byte, n)
+	if cap(g.scratch) < n {
+		g.scratch = make([]byte, n)
+	}
+	out := g.scratch[:n:n]
 	copy(out, g.mem[addr:])
 	return out, nil
 }
 
-func (g guestMem) WriteGuest(addr uint64, b []byte) error {
+func (g *guestMem) WriteGuest(addr uint64, b []byte) error {
 	if addr > uint64(len(g.mem)) || uint64(len(b)) > uint64(len(g.mem))-addr {
 		return fmt.Errorf("wasp: guest write [%#x,+%d) out of bounds", addr, len(b))
 	}
@@ -306,4 +325,37 @@ func (g guestMem) WriteGuest(addr uint64, b []byte) error {
 		g.mark(addr, len(b))
 	}
 	return nil
+}
+
+// codeRegistry keeps one frozen decoded-code cache per image, so every
+// run of an image after the first adopts predecoded pages instead of
+// re-decoding the boot stub and workload: decode once per image, not once
+// per run. Pages are immutable once registered; AdoptCode verifies page
+// content against guest memory before installing, so a registry entry can
+// never supply a stale decode regardless of how the memory was populated
+// (cold load, snapshot restore, or COW reset).
+type codeRegistry struct {
+	mu    sync.RWMutex
+	byImg map[string]cpu.CodeCache
+}
+
+func (r *codeRegistry) get(name string) cpu.CodeCache {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byImg[name]
+}
+
+// merge folds newly decoded pages into the image's entry, keeping
+// already-registered pages (they were decoded from the image's canonical
+// content).
+func (r *codeRegistry) merge(name string, cc cpu.CodeCache) {
+	if cc.Empty() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byImg == nil {
+		r.byImg = make(map[string]cpu.CodeCache)
+	}
+	r.byImg[name] = r.byImg[name].Merge(cc)
 }
