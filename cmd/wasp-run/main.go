@@ -9,6 +9,7 @@
 //	wasp-run -policy allow prog.s       # permissive
 //	wasp-run -policy 0xFC prog.s        # bit-mask
 //	wasp-run -data "payload" prog.s     # preload the get_data channel
+//	wasp-run -platform hyper-v prog.s   # run on the WHP cost profile
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"repro/internal/cycles"
 	"repro/internal/guest"
 	"repro/internal/hypercall"
+	"repro/internal/vmm"
 	"repro/internal/wasp"
 )
 
@@ -28,6 +30,7 @@ func main() {
 	data := flag.String("data", "", "payload for the get_data hypercall")
 	netIn := flag.String("net", "", "bytes queued on the virtual socket")
 	snapshot := flag.Bool("snapshot", false, "enable snapshotting")
+	platform := flag.String("platform", "kvm", `hypervisor backend: "kvm" or "hyper-v" (Fig 5 cost profiles)`)
 	trials := flag.Int("n", 1, "number of invocations")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -57,7 +60,11 @@ func main() {
 		pol = hypercall.Mask(mask)
 	}
 
-	w := wasp.New()
+	plat, ok := vmm.ByName(*platform)
+	if !ok {
+		fatal(fmt.Errorf("unknown platform %q (want kvm or hyper-v)", *platform))
+	}
+	w := wasp.New(wasp.WithPlatform(plat))
 	for i := 0; i < *trials; i++ {
 		env := hypercall.NewEnv()
 		env.DataIn = []byte(*data)

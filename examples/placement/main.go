@@ -1,0 +1,75 @@
+// Command placement walks through the multi-backend placement layer:
+// one Wasp runtime spanning KVM and Hyper-V (wasp.WithPlatforms), a
+// scheduler fleet with platform-pinned workers
+// (sched.WithWorkerPlatforms), and the three placement policies of
+// internal/placement deciding where each image may run.
+//
+//	go run ./examples/placement
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/serverless"
+	"repro/internal/vmm"
+	"repro/internal/wasp"
+)
+
+func main() {
+	kvm, hv := vmm.KVM{}, vmm.HyperV{}
+	short := serverless.PlacementShortImage()
+	long := serverless.PlacementLongImage()
+
+	fmt.Println("-- Fig 5 cost profiles the policies trade off --")
+	for _, p := range []vmm.Platform{kvm, hv} {
+		fmt.Printf("  %-8s create=%-7d entry=%-5d exit=%d cycles\n",
+			p.Name(), p.CreateCost(), p.EntryCost(), p.ExitCost())
+	}
+
+	// A 2+2 split fleet under each policy, serving a short/long mix on
+	// the deterministic virtual scheduler.
+	for _, cfg := range []struct {
+		name string
+		pl   placement.Placer
+	}{
+		{"static (shorts pinned to kvm, longs to hyper-v)", placement.Static{Pins: map[string]string{
+			short.Name: kvm.Name(),
+			long.Name:  hv.Name(),
+		}}},
+		{"least-loaded (balance queue pressure)", placement.LeastLoaded{}},
+		{"cost-model (overhead vs service EWMA)", placement.CostModel{}},
+	} {
+		w := wasp.New(wasp.WithPlatforms(kvm, hv))
+		s := sched.NewVirtual(w, 4,
+			sched.WithWorkerPlatforms(kvm, hv),
+			sched.WithPlacer(cfg.pl))
+		tickets := s.SubmitBatchAt(serverless.PlacementTrace(48, 8))
+		if err := sched.WaitAll(tickets...); err != nil {
+			panic(err)
+		}
+		fmt.Printf("\n-- %s --\n", cfg.name)
+		for _, bl := range s.BackendLoads() {
+			fmt.Printf("  backend %-8s %d workers, %d runs\n", bl.Platform, bl.Workers, bl.Completed)
+		}
+		for _, wl := range s.WorkerInfo() {
+			fmt.Printf("  worker %d (%s): %d runs\n", wl.Worker, wl.Platform, wl.Runs)
+		}
+		fmt.Printf("  makespan %.3f ms; %s\n", cycles.Millis(s.Makespan()), s)
+		s.Close()
+	}
+
+	// A pin to a platform outside the fleet fails fast instead of
+	// queueing forever.
+	w := wasp.New(wasp.WithPlatforms(kvm, hv))
+	s := sched.NewVirtual(w, 2,
+		sched.WithWorkerPlatforms(kvm, hv),
+		sched.WithPlacer(placement.Static{Pins: map[string]string{short.Name: "xen"}}))
+	t := s.SubmitAt(0, short, wasp.RunConfig{})
+	if _, err := t.Wait(); err != nil {
+		fmt.Printf("\n-- unplaceable image -- %v\n", err)
+	}
+	s.Close()
+}

@@ -101,7 +101,7 @@ func main() {
 			tenants[name] = append(tenants[name], httpd.Request("/index.html"))
 		}
 	}
-	out, err := srv.ServeTenants(tenants, 4, &sched.Admission{})
+	out, err := srv.ServeTenants(tenants, 4, &sched.Admission{}, nil)
 	if err != nil {
 		panic(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/httpd"
 	"repro/internal/hypercall"
 	"repro/internal/js"
+	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/serverless"
 	"repro/internal/stats"
@@ -630,6 +631,73 @@ func AdmissionFairness(trials int) (*Table, error) {
 	t.Note("share: service cycles received over min(demand, weighted fair share) within the horizon; ALL rows hold Jain's index over shares")
 	t.Note("jain: fifo %.3f vs weighted %.3f — weighted per-image queues deliver every tenant its entitlement", fifoJain, weightedJain)
 	t.Note("hardcap (2-in-flight) also protects cold tenants but idles capacity the hog could use")
+	return t, nil
+}
+
+// Placement is the multi-backend placement experiment: a saturating mix
+// of short-lived virtines (Fig 5 overhead-dominated) and long-lived
+// ones (overhead-amortizing) served by homogeneous half-fleets — only
+// the KVM machines, only the Hyper-V machines — and by the full split
+// fleet under each placement policy. Reported per configuration:
+// makespan, per-class p50 latency, the short class's mean per-run cost
+// (where the backends' create/entry/exit profiles actually show),
+// per-backend completed counts, and Jain's index over the backends'
+// capacity-normalized service shares. Everything runs on the
+// deterministic virtual scheduler; same trials → identical numbers.
+func Placement(trials int) (*Table, error) {
+	scale := clampTrials(trials, 1, 8)
+	shorts, longs := 120*scale, 18*scale
+	kvm, hv := vmm.KVM{}, vmm.HyperV{}
+
+	configs := []struct {
+		name  string
+		fleet []vmm.Platform
+		pl    placement.Placer
+	}{
+		{"kvm-only", []vmm.Platform{kvm, kvm}, nil},
+		{"hyperv-only", []vmm.Platform{hv, hv}, nil},
+		{"split static", []vmm.Platform{kvm, hv, kvm, hv}, placement.Static{Pins: map[string]string{
+			serverless.PlacementShortImage().Name: kvm.Name(),
+			serverless.PlacementLongImage().Name:  hv.Name(),
+		}}},
+		{"split least-loaded", []vmm.Platform{kvm, hv, kvm, hv}, placement.LeastLoaded{}},
+		{"split cost-model", []vmm.Platform{kvm, hv, kvm, hv}, placement.CostModel{}},
+	}
+
+	t := &Table{
+		ID:    "placement",
+		Title: "Multi-backend placement: homogeneous vs split fleets (virtual scheduler)",
+		Header: []string{"config", "workers", "makespan-ms", "short-p50-ms", "long-p50-ms",
+			"kvm-runs", "hv-runs", "shorts-on-kvm", "jain"},
+	}
+	reports := map[string]*serverless.PlacementReport{}
+	shortsOnKVM := map[string]uint64{}
+	for _, cfg := range configs {
+		w := wasp.New(wasp.WithPlatforms(kvm, hv))
+		rep, err := serverless.RunPlacementMix(w, cfg.name, cfg.fleet, cfg.pl, shorts, longs)
+		if err != nil {
+			return nil, err
+		}
+		reports[cfg.name] = rep
+		runsOn := map[string]uint64{}
+		for _, sl := range rep.Backends {
+			runsOn[sl.Platform] = sl.Runs
+			if sl.Platform == kvm.Name() {
+				shortsOnKVM[cfg.name] = sl.ShortRuns
+			}
+		}
+		t.AddRow(cfg.name, di(rep.Workers),
+			f2(cycles.Millis(rep.Makespan)),
+			f2(rep.ShortP50Ms), f2(rep.LongP50Ms),
+			d0(runsOn[kvm.Name()]), d0(runsOn[hv.Name()]),
+			d0(shortsOnKVM[cfg.name]), f2(rep.Jain))
+	}
+	cm, ll := reports["split cost-model"], reports["split least-loaded"]
+	t.Note("workload: %d short + %d long virtines; shorts feel the Fig 5 create/entry/exit gap, longs amortize it", shorts, longs)
+	t.Note("cost-model makespan %.2f ms vs kvm-only %.2f / hyperv-only %.2f — one scheduler spanning both backends beats either half-fleet",
+		cycles.Millis(cm.Makespan), cycles.Millis(reports["kvm-only"].Makespan), cycles.Millis(reports["hyperv-only"].Makespan))
+	t.Note("cost-model kept %d/%d shorts on the cheap-create backend vs least-loaded's %d, with least-loaded jain %.3f across backends",
+		shortsOnKVM["split cost-model"], shorts, shortsOnKVM["split least-loaded"], ll.Jain)
 	return t, nil
 }
 

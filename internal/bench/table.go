@@ -108,6 +108,7 @@ var Registry = []struct {
 	{"wasp-ca", "Wasp+C vs Wasp+CA: async cleaning off the critical path", WaspCA},
 	{"admission", "Multi-tenant admission control: noisy-neighbor fairness", AdmissionFairness},
 	{"interp", "Interpreter host speed: MIPS / ns per guest instruction", InterpSpeed},
+	{"placement", "Multi-backend placement: homogeneous vs split fleets", Placement},
 }
 
 // Lookup finds a runner by experiment ID.

@@ -72,6 +72,46 @@ type Image struct {
 
 	// Native, when non-nil, runs after the image's boot stub halts.
 	Native NativeFunc
+
+	// contentKey caches ContentKey for images built by the package
+	// constructors; WithName/WithPad copies inherit it.
+	contentKey string
+}
+
+// ContentKey identifies the image by executable content: a hash over the
+// code bytes, load origin, entry point, and start mode — everything the
+// decoded-code cache depends on, and nothing it does not (Name and Pad
+// are excluded: renamed tenant clones and padded variants of one binary
+// decode identically). The Wasp code registry keys on it, so clones made
+// with WithName share one decode. Safe even under hash collision: code
+// adoption verifies page content against guest memory before install.
+func (im *Image) ContentKey() string {
+	if im.contentKey == "" {
+		return contentKey(im)
+	}
+	return im.contentKey
+}
+
+// contentKey computes the FNV-1a content hash with length-prefixed
+// fields, mixing in the structural parameters before the code bytes.
+func contentKey(im *Image) string {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(im.Origin)
+	mix(im.Entry)
+	mix(uint64(im.Mode))
+	mix(uint64(len(im.Code)))
+	for _, b := range im.Code {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%016x", h)
 }
 
 // FromAsm assembles src into an image named name.
@@ -83,13 +123,15 @@ func FromAsm(name, src string) (*Image, error) {
 	if p.Origin < HeapBase {
 		return nil, fmt.Errorf("guest: image %s origin %#x collides with reserved layout", name, p.Origin)
 	}
-	return &Image{
+	im := &Image{
 		Name:   name,
 		Code:   p.Code,
 		Origin: p.Origin,
 		Entry:  p.Entry,
 		Mode:   p.StartMode,
-	}, nil
+	}
+	im.contentKey = contentKey(im)
+	return im, nil
 }
 
 // MustFromAsm is FromAsm for static sources; it panics on error.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cycles"
 	"repro/internal/guest"
 	"repro/internal/hypercall"
+	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/vcc"
 	"repro/internal/wasp"
@@ -269,12 +270,26 @@ func (s *FileServer) ServeMany(reqs [][]byte, workers int) ([]*Response, error) 
 // policy. With soft weights a hot tenant's burst cannot starve the
 // others of workers; with a hard cap in RejectOverflow mode a tenant's
 // excess requests fail fast — those slots come back nil in the
-// tenant's response slice (every other error aborts). Responses are
-// returned per tenant, in each tenant's request order.
-func (s *FileServer) ServeTenants(tenants map[string][][]byte, workers int, adm *sched.Admission) (map[string][]*Response, error) {
+// tenant's response slice, as do requests of a tenant no backend may
+// serve under the placement policy (every other error aborts).
+// Responses are returned per tenant, in each tenant's request order.
+//
+// When the server's runtime spans several hypervisor backends
+// (wasp.WithPlatforms), the workers are spread round-robin across them
+// and the placer (nil for no placement constraints) decides which
+// backends each tenant's clone may land on — admission gates whether a
+// request runs, placement gates where.
+func (s *FileServer) ServeTenants(tenants map[string][][]byte, workers int, adm *sched.Admission, pl placement.Placer) (map[string][]*Response, error) {
 	var opts []sched.Option
 	if adm != nil {
 		opts = append(opts, sched.WithAdmission(*adm))
+	}
+	platforms := s.W.Platforms()
+	if len(platforms) > 1 {
+		opts = append(opts, sched.WithWorkerPlatforms(platforms...))
+	}
+	if pl != nil {
+		opts = append(opts, sched.WithPlacer(pl))
 	}
 	sc := sched.New(s.W, workers, opts...)
 	defer sc.Close()
@@ -290,7 +305,14 @@ func (s *FileServer) ServeTenants(tenants map[string][][]byte, workers int, adm 
 	if total < need {
 		need = total
 	}
-	s.W.Prewarm(s.image.MemBytes(), need)
+	// Prewarm every backend's pool for its share of the fleet: shells
+	// never cross platforms, so each backend warms its own.
+	for i, p := range platforms {
+		share := (need + len(platforms) - 1 - i) / len(platforms)
+		if share > 0 {
+			s.W.PrewarmOn(p.Name(), s.image.MemBytes(), share)
+		}
+	}
 
 	type slot struct {
 		tenant string
@@ -314,8 +336,8 @@ func (s *FileServer) ServeTenants(tenants map[string][][]byte, workers int, adm 
 	for i, t := range tickets {
 		resp, err := ParseTicket(t)
 		if err != nil {
-			if errors.Is(err, sched.ErrAdmission) {
-				continue // rejected by the tenant's quota: slot stays nil
+			if errors.Is(err, sched.ErrAdmission) || errors.Is(err, sched.ErrPlacement) {
+				continue // quota- or placement-rejected: slot stays nil
 			}
 			return nil, err
 		}

@@ -7,8 +7,10 @@ import (
 
 	"repro/internal/cycles"
 	"repro/internal/hypercall"
+	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/vcc"
+	"repro/internal/vmm"
 	"repro/internal/wasp"
 )
 
@@ -338,7 +340,7 @@ func TestServeTenants(t *testing.T) {
 			tenants[name] = append(tenants[name], req)
 		}
 	}
-	out, err := s.ServeTenants(tenants, 4, &sched.Admission{})
+	out, err := s.ServeTenants(tenants, 4, &sched.Admission{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +377,7 @@ func TestServeTenantsHardCapRejects(t *testing.T) {
 		tenants["hog"] = append(tenants["hog"], Request("/index.html"))
 	}
 	tenants["quiet"] = [][]byte{Request("/index.html")}
-	out, err := s.ServeTenants(tenants, 2, &sched.Admission{MaxInFlight: 2, RejectOverflow: true})
+	out, err := s.ServeTenants(tenants, 2, &sched.Admission{MaxInFlight: 2, RejectOverflow: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,5 +400,48 @@ func TestServeTenantsHardCapRejects(t *testing.T) {
 	}
 	if rejected == 0 {
 		t.Fatal("hard cap in reject mode rejected nothing despite a 24-deep burst over cap 2")
+	}
+}
+
+// TestServeTenantsPlaced: on a runtime spanning KVM and Hyper-V, a
+// Static placer pins tenants to opposite backends; both are answered
+// correctly, shells never cross platforms (each backend's pool warms),
+// and a tenant pinned outside the fleet comes back as nil slots.
+func TestServeTenantsPlaced(t *testing.T) {
+	w := wasp.New(wasp.WithPlatforms(vmm.KVM{}, vmm.HyperV{}))
+	s, err := NewFileServer(w, testFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := map[string][][]byte{}
+	for _, name := range []string{"on-kvm", "on-hv", "nowhere"} {
+		for i := 0; i < 4; i++ {
+			tenants[name] = append(tenants[name], Request("/index.html"))
+		}
+	}
+	pl := placement.Static{Pins: map[string]string{
+		s.image.Name + "@on-kvm":  "kvm",
+		s.image.Name + "@on-hv":   "hyper-v",
+		s.image.Name + "@nowhere": "xen",
+	}}
+	out, err := s.ServeTenants(tenants, 4, &sched.Admission{}, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"on-kvm", "on-hv"} {
+		for i, resp := range out[name] {
+			if resp == nil || resp.Status != 200 {
+				t.Fatalf("%s request %d: response %+v, want 200", name, i, resp)
+			}
+		}
+	}
+	for i, resp := range out["nowhere"] {
+		if resp != nil {
+			t.Fatalf("unplaceable tenant request %d got a response: %+v", i, resp)
+		}
+	}
+	if w.PoolTotalOn("kvm") == 0 || w.PoolTotalOn("hyper-v") == 0 {
+		t.Fatalf("both backends should hold warm shells after the split run (kvm=%d hv=%d)",
+			w.PoolTotalOn("kvm"), w.PoolTotalOn("hyper-v"))
 	}
 }

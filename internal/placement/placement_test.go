@@ -1,0 +1,94 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/vmm"
+)
+
+func fleet() []BackendInfo {
+	return []BackendInfo{
+		{Platform: vmm.KVM{}, Workers: 2},
+		{Platform: vmm.HyperV{}, Workers: 2},
+	}
+}
+
+func TestStaticPinsAndDefault(t *testing.T) {
+	p := Static{Pins: map[string]string{"a": "hyper-v"}, Default: "kvm"}
+	w := p.Place(ImageInfo{Name: "a"}, fleet())
+	if w[0] > 0 || w[1] <= 0 {
+		t.Fatalf("pinned image weights = %v, want hyper-v only", w)
+	}
+	w = p.Place(ImageInfo{Name: "b"}, fleet())
+	if w[0] <= 0 || w[1] > 0 {
+		t.Fatalf("defaulted image weights = %v, want kvm only", w)
+	}
+	open := Static{}
+	w = open.Place(ImageInfo{Name: "c"}, fleet())
+	if w[0] != 1 || w[1] != 1 {
+		t.Fatalf("unconstrained weights = %v, want equal eligibility", w)
+	}
+}
+
+func TestStaticAbsentPinIsIneligibleEverywhere(t *testing.T) {
+	p := Static{Pins: map[string]string{"a": "xen"}}
+	for _, w := range p.Place(ImageInfo{Name: "a"}, fleet()) {
+		if w > 0 {
+			t.Fatal("pin to an absent platform must yield no eligible backend")
+		}
+	}
+}
+
+func TestCostModelShortPrefersCheapCreate(t *testing.T) {
+	w := CostModel{}.Place(ImageInfo{Name: "s", SvcEWMA: 0}, fleet())
+	if w[0] <= w[1] {
+		t.Fatalf("short-lived image weights = %v, want kvm (cheap create) preferred", w)
+	}
+	// The preference gap must shrink as the image's service time grows:
+	// long-lived virtines amortize the Fig 5 overheads.
+	shortGap := Bias(w[1]) - Bias(w[0])
+	wl := CostModel{}.Place(ImageInfo{Name: "l", SvcEWMA: 50_000_000}, fleet())
+	longGap := Bias(wl[1]) - Bias(wl[0])
+	if longGap >= shortGap {
+		t.Fatalf("bias gap did not shrink with service time: short %d, long %d", shortGap, longGap)
+	}
+}
+
+func TestLeastLoadedPrefersFreeBackend(t *testing.T) {
+	b := fleet()
+	b[0].Busy, b[0].SvcEWMA = 2, 1_000_000
+	b[1].Busy, b[1].SvcEWMA = 0, 1_000_000
+	w := LeastLoaded{}.Place(ImageInfo{Name: "x"}, b)
+	if w[1] <= w[0] {
+		t.Fatalf("weights = %v, want the idle backend preferred", w)
+	}
+}
+
+func TestPoliciesAreDeterministic(t *testing.T) {
+	img := ImageInfo{Name: "d", SvcEWMA: 123_456}
+	b := fleet()
+	b[0].Busy, b[0].SvcEWMA = 1, 777
+	for _, pl := range []Placer{Static{Default: "kvm"}, CostModel{}, LeastLoaded{}} {
+		a := pl.Place(img, b)
+		for i := 0; i < 64; i++ {
+			c := pl.Place(img, b)
+			for j := range a {
+				if a[j] != c[j] {
+					t.Fatalf("%T: weight %d diverged across calls", pl, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBiasContract(t *testing.T) {
+	if Bias(0) != ^uint64(0) || Bias(-1) != ^uint64(0) {
+		t.Fatal("non-positive weights must be infinitely biased (ineligible)")
+	}
+	if Bias(1) != 1 || Bias(1e12) != 0 {
+		t.Fatalf("Bias(1)=%d Bias(1e12)=%d", Bias(1), Bias(1e12))
+	}
+	if Bias(1.0/5000) != 5000 {
+		t.Fatalf("Bias(1/5000) = %d, want 5000", Bias(1.0/5000))
+	}
+}

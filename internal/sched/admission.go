@@ -184,9 +184,12 @@ func (a *admission) tryEnqueue(t *Ticket) error {
 // pick removes and returns the next ticket by weighted fair pick across
 // the per-image queues: the eligible image with the lowest pass (ties
 // break on the image name, keeping the pick deterministic). Deferred
-// images — at their hard cap — are not eligible. Returns nil when no
-// eligible ticket exists. Caller holds the dispatch lock.
-func (a *admission) pick() *Ticket {
+// images — at their hard cap — are not eligible, and neither are images
+// the caller's eligible filter refuses (the placement layer's
+// platform-affinity gate: a worker passes a filter accepting only
+// tickets its backend may serve; nil accepts everything). Returns nil
+// when no eligible ticket exists. Caller holds the dispatch lock.
+func (a *admission) pick(eligible func(*Ticket) bool) *Ticket {
 	var best *imageState
 	for _, st := range a.images {
 		if len(st.queue) == 0 {
@@ -194,6 +197,9 @@ func (a *admission) pick() *Ticket {
 		}
 		if a.pol.MaxInFlight > 0 && !a.pol.RejectOverflow && st.inFlight >= a.pol.MaxInFlight {
 			continue // deferred: wait for a completion slot
+		}
+		if eligible != nil && !eligible(st.queue[0]) {
+			continue // pinned to a backend this worker does not serve
 		}
 		if best == nil || st.pass < best.pass || (st.pass == best.pass && st.name < best.name) {
 			best = st

@@ -1,0 +1,324 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/guest"
+	"repro/internal/placement"
+	"repro/internal/vmm"
+	"repro/internal/wasp"
+)
+
+func splitWasp() *wasp.Wasp {
+	return wasp.New(wasp.WithPlatforms(vmm.KVM{}, vmm.HyperV{}))
+}
+
+// Real mode: a worker must only pop tickets its backend may serve. Pin
+// two images to opposite platforms, drive a burst, and check every
+// ticket landed on its pinned backend.
+func TestRealModePlatformAffinity(t *testing.T) {
+	w := splitWasp()
+	imgK := guest.RealModeHalt().WithName("affine-kvm")
+	imgH := guest.RealModeHalt().WithName("affine-hv")
+	pl := placement.Static{Pins: map[string]string{
+		imgK.Name: "kvm",
+		imgH.Name: "hyper-v",
+	}}
+	s := New(w, 4, WithWorkerPlatforms(vmm.KVM{}, vmm.HyperV{}), WithPlacer(pl))
+	defer s.Close()
+
+	var tickets []*Ticket
+	for i := 0; i < 32; i++ {
+		tickets = append(tickets, s.Submit(imgK, wasp.RunConfig{}), s.Submit(imgH, wasp.RunConfig{}))
+	}
+	if err := WaitAll(tickets...); err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range tickets {
+		want := "kvm"
+		if tk.Image == imgH.Name {
+			want = "hyper-v"
+		}
+		if tk.Platform != want {
+			t.Fatalf("image %s served on %s, pinned to %s", tk.Image, tk.Platform, want)
+		}
+	}
+	for _, bl := range s.BackendLoads() {
+		if bl.Completed != 32 {
+			t.Fatalf("backend %s completed %d, want 32", bl.Platform, bl.Completed)
+		}
+	}
+}
+
+// Platform affinity must also hold under an admission policy: the
+// weighted pick may only hand a worker images its backend serves.
+func TestRealModeAffinityWithAdmission(t *testing.T) {
+	w := splitWasp()
+	imgK := guest.RealModeHalt().WithName("adm-kvm")
+	imgH := guest.RealModeHalt().WithName("adm-hv")
+	pl := placement.Static{Pins: map[string]string{imgK.Name: "kvm", imgH.Name: "hyper-v"}}
+	s := New(w, 4,
+		WithWorkerPlatforms(vmm.KVM{}, vmm.HyperV{}),
+		WithPlacer(pl),
+		WithAdmission(Admission{}))
+	defer s.Close()
+
+	batch := make([]Request, 0, 48)
+	for i := 0; i < 24; i++ {
+		batch = append(batch,
+			Request{Img: imgK, Cfg: wasp.RunConfig{}},
+			Request{Img: imgH, Cfg: wasp.RunConfig{}})
+	}
+	tickets := s.SubmitBatch(batch)
+	if err := WaitAll(tickets...); err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range tickets {
+		want := "kvm"
+		if tk.Image == imgH.Name {
+			want = "hyper-v"
+		}
+		if tk.Platform != want {
+			t.Fatalf("image %s served on %s under admission, pinned to %s", tk.Image, tk.Platform, want)
+		}
+	}
+}
+
+// An image pinned to a platform outside the fleet is rejected with
+// ErrPlacement in both modes and on both submit paths.
+func TestUnplaceableImageRejected(t *testing.T) {
+	img := guest.RealModeHalt().WithName("nowhere")
+	pl := placement.Static{Pins: map[string]string{img.Name: "xen"}}
+	for _, virtual := range []bool{false, true} {
+		w := splitWasp()
+		var s *Scheduler
+		opts := []Option{WithWorkerPlatforms(vmm.KVM{}, vmm.HyperV{}), WithPlacer(pl)}
+		if virtual {
+			s = NewVirtual(w, 2, opts...)
+		} else {
+			s = New(w, 2, opts...)
+		}
+		tk := s.Submit(img, wasp.RunConfig{})
+		if _, err := tk.Wait(); !errors.Is(err, ErrPlacement) {
+			t.Fatalf("virtual=%v: err = %v, want ErrPlacement", virtual, err)
+		}
+		batch := s.SubmitBatch([]Request{{Img: img, Cfg: wasp.RunConfig{}}})
+		if _, err := batch[0].Wait(); !errors.Is(err, ErrPlacement) {
+			t.Fatalf("virtual=%v batch: err = %v, want ErrPlacement", virtual, err)
+		}
+		if got := s.Rejected(); got != 2 {
+			t.Fatalf("virtual=%v: Rejected = %d, want 2", virtual, got)
+		}
+		if s.Submitted() != s.Completed()+s.Rejected() {
+			t.Fatalf("virtual=%v: submitted != completed+rejected", virtual)
+		}
+		s.Close()
+	}
+}
+
+// WithWorkerPlatforms on a platform the Wasp does not own is a
+// misconfigured fleet: construction must panic loudly.
+func TestWorkerPlatformValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a worker platform outside the runtime's backends")
+		}
+	}()
+	New(wasp.New(), 2, WithWorkerPlatforms(vmm.HyperV{}))
+}
+
+// String and WorkerInfo must expose the per-backend fleet shape.
+func TestStringAndWorkerInfoReportBackends(t *testing.T) {
+	w := splitWasp()
+	s := New(w, 4, WithWorkerPlatforms(vmm.KVM{}, vmm.HyperV{}))
+	defer s.Close()
+	tk := s.Submit(guest.RealModeHalt(), wasp.RunConfig{})
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if str := s.String(); !strings.Contains(str, "kvm:2w") || !strings.Contains(str, "hyper-v:2w") {
+		t.Fatalf("String() = %q, want per-backend worker counts", str)
+	}
+	plats := map[string]int{}
+	for _, wl := range s.WorkerInfo() {
+		plats[wl.Platform]++
+	}
+	if plats["kvm"] != 2 || plats["hyper-v"] != 2 {
+		t.Fatalf("WorkerInfo platforms = %v, want 2+2", plats)
+	}
+}
+
+// Virtual-mode determinism at the scheduler level: the same mixed-fleet
+// batch under each policy must produce bit-identical makespans and
+// per-ticket (worker, platform, start, done) assignments run over run.
+func TestVirtualPlacementDeterministic(t *testing.T) {
+	imgS := guest.RealModeHalt().WithName("det-short")
+	imgL := guest.MinimalHalt().WithName("det-long")
+	build := func() []Request {
+		var reqs []Request
+		for i := 0; i < 40; i++ {
+			img := imgS
+			if i%5 == 0 {
+				img = imgL
+			}
+			reqs = append(reqs, Request{Arrival: uint64(i) * 3_000, Img: img})
+		}
+		return reqs
+	}
+	type key struct {
+		worker      int
+		platform    string
+		start, done uint64
+	}
+	for _, pl := range []placement.Placer{
+		placement.Static{Default: "kvm"},
+		placement.LeastLoaded{},
+		placement.CostModel{},
+	} {
+		run := func() ([]key, uint64) {
+			w := splitWasp()
+			s := NewVirtual(w, 4, WithWorkerPlatforms(vmm.KVM{}, vmm.HyperV{}), WithPlacer(pl))
+			defer s.Close()
+			tickets := s.SubmitBatchAt(build())
+			if err := WaitAll(tickets...); err != nil {
+				t.Fatal(err)
+			}
+			out := make([]key, len(tickets))
+			for i, tk := range tickets {
+				out[i] = key{tk.Worker, tk.Platform, tk.Start, tk.Done}
+			}
+			return out, s.Makespan()
+		}
+		a, ma := run()
+		b, mb := run()
+		if ma != mb {
+			t.Fatalf("%T: makespan diverged: %d vs %d", pl, ma, mb)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%T: ticket %d assignment diverged: %+v vs %+v", pl, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// Close must not hang when the queue holds a platform-pinned backlog:
+// the worker of the other backend parks on tickets it may not pop, and
+// it must be woken once the eligible worker drains the last one.
+// (Regression: the drain-to-zero transition used to wake nobody, so
+// wg.Wait inside Close slept forever on the parked worker.)
+func TestCloseDrainsPlatformPinnedBacklog(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		w := splitWasp()
+		img := guest.RealModeHalt().WithName("close-pinned")
+		pl := placement.Static{Pins: map[string]string{img.Name: "hyper-v"}, Default: "hyper-v"}
+		s := New(w, 2, WithWorkerPlatforms(vmm.KVM{}, vmm.HyperV{}), WithPlacer(pl), WithQueueCap(128))
+		var tickets []*Ticket
+		for i := 0; i < 50; i++ {
+			tickets = append(tickets, s.Submit(img, wasp.RunConfig{}))
+		}
+		done := make(chan struct{})
+		go func() {
+			s.Close()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Close hung with a platform-pinned backlog queued")
+		}
+		for _, tk := range tickets {
+			if _, err := tk.Wait(); err != nil && !errors.Is(err, ErrClosed) {
+				t.Fatalf("ticket error: %v", err)
+			} else if err == nil && tk.Platform != "hyper-v" {
+				t.Fatalf("pinned ticket ran on %s", tk.Platform)
+			}
+		}
+	}
+}
+
+// 16 goroutines hammer a mixed two-backend fleet — single submits,
+// batches, pinned and free images — while another goroutine closes the
+// scheduler mid-flight. Run under -race. Every ticket must either
+// complete on an allowed backend or fail with ErrClosed, and the
+// accounting identity must hold; the wasp-level cross-platform panic
+// guards shell integrity throughout.
+func TestPlacementStressMixedBackendsWithClose(t *testing.T) {
+	w := wasp.New(wasp.WithPlatforms(vmm.KVM{}, vmm.HyperV{}), wasp.WithAsyncClean(true))
+	imgK := guest.RealModeHalt().WithName("stress-kvm")
+	imgH := guest.RealModeHalt().WithName("stress-hv")
+	imgAny := guest.RealModeHalt().WithName("stress-any")
+	pl := placement.Static{Pins: map[string]string{imgK.Name: "kvm", imgH.Name: "hyper-v"}}
+	s := New(w, 4, WithWorkerPlatforms(vmm.KVM{}, vmm.HyperV{}), WithPlacer(pl), WithQueueCap(64))
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var all []*Ticket
+	closeGate := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			imgs := []*guest.Image{imgK, imgH, imgAny}
+			var local []*Ticket
+			for i := 0; i < 30; i++ {
+				img := imgs[(g+i)%len(imgs)]
+				if i%7 == 0 {
+					local = append(local, s.SubmitBatch([]Request{
+						{Img: img, Cfg: wasp.RunConfig{}},
+						{Img: imgs[(g+i+1)%len(imgs)], Cfg: wasp.RunConfig{}},
+					})...)
+				} else {
+					local = append(local, s.Submit(img, wasp.RunConfig{}))
+				}
+				if g == 0 && i == 15 {
+					close(closeGate)
+				}
+			}
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		}(g)
+	}
+	go func() {
+		<-closeGate
+		s.Close()
+	}()
+	wg.Wait()
+	s.Close()
+
+	var completed, rejected uint64
+	for _, tk := range all {
+		_, err := tk.Wait()
+		switch {
+		case err == nil:
+			completed++
+			switch tk.Image {
+			case imgK.Name:
+				if tk.Platform != "kvm" {
+					t.Fatalf("pinned image ran on %s", tk.Platform)
+				}
+			case imgH.Name:
+				if tk.Platform != "hyper-v" {
+					t.Fatalf("pinned image ran on %s", tk.Platform)
+				}
+			}
+		case errors.Is(err, ErrClosed):
+			rejected++
+		default:
+			t.Fatalf("unexpected ticket error: %v", err)
+		}
+	}
+	if completed != s.Completed() || rejected != s.Rejected() {
+		t.Fatalf("ticket counts (%d done, %d rejected) disagree with scheduler (%d, %d)",
+			completed, rejected, s.Completed(), s.Rejected())
+	}
+	if s.Submitted() != s.Completed()+s.Rejected() {
+		t.Fatalf("Submitted %d != Completed %d + Rejected %d", s.Submitted(), s.Completed(), s.Rejected())
+	}
+}

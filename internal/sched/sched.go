@@ -34,6 +34,16 @@
 // weighted fair picking, so one hot image cannot starve other tenants
 // of workers. See the Admission type for the policy semantics.
 //
+// The fleet may span heterogeneous hypervisor backends (Fig 5):
+// WithWorkerPlatforms pins each worker to a vmm.Platform, and image
+// tickets execute through wasp.RunOn on their worker's backend, drawing
+// shells only from that backend's pools. A placement policy
+// (WithPlacer, internal/placement) maps each image to its eligible
+// backends with weights: a worker only pops tickets its backend may
+// serve, and the deterministic virtual dispatcher additionally uses the
+// weights as a cost bias when choosing among eligible workers.
+// Admission decides whether a ticket runs; placement decides where.
+//
 // The scheduler is also the drive shaft of true Wasp+CA (Fig 8): when
 // the runtime cleans shells asynchronously, real-mode workers scrub
 // dirty shells on a low-priority lane whenever the ticket queue is
@@ -54,6 +64,9 @@ import (
 
 	"repro/internal/cycles"
 	"repro/internal/guest"
+	"repro/internal/placement"
+	"repro/internal/stats"
+	"repro/internal/vmm"
 	"repro/internal/wasp"
 )
 
@@ -64,6 +77,12 @@ type Task func(clk *cycles.Clock) (*wasp.Result, error)
 // ErrClosed is the error carried by tickets submitted to a scheduler
 // that has been closed.
 var ErrClosed = errors.New("sched: scheduler closed")
+
+// ErrPlacement is the error carried by tickets whose image has no
+// eligible backend in this fleet (e.g. a Static pin to a platform no
+// worker serves). Rejecting at submission keeps an unservable ticket
+// from occupying the queue forever.
+var ErrPlacement = errors.New("sched: no eligible backend for image")
 
 // errNilTask rejects a batch Request carrying neither an image nor a
 // task function.
@@ -92,6 +111,9 @@ type Ticket struct {
 	Start, Done uint64
 	// Worker is the index of the worker that served the ticket.
 	Worker int
+	// Platform is the name of the hypervisor backend whose worker served
+	// the ticket ("" until service starts). Valid after Wait.
+	Platform string
 	// DepthAtSubmit is the queue depth observed when the ticket was
 	// submitted (real mode: tickets waiting in the queue; virtual mode:
 	// workers still busy at the arrival time).
@@ -111,6 +133,20 @@ type Ticket struct {
 	// 0 for raw tasks. Completed image tickets feed the pool-sizing
 	// policy with it.
 	memBytes int
+
+	// img and cfg carry an image submission's work; the worker that pops
+	// the ticket runs the image on its own pinned backend (wasp.RunOn),
+	// which is why image tickets are not baked into a platform-blind
+	// closure. Raw tasks use run instead.
+	img *guest.Image
+	cfg wasp.RunConfig
+
+	// elig is the placement weight per scheduler backend (nil when no
+	// placer is attached or the ticket is untagged): <= 0 means the
+	// backend's workers must not pop this ticket. Real mode fills it at
+	// enqueue; virtual mode recomputes at each placement decision so
+	// load-sensitive policies see decision-time state.
+	elig []float64
 
 	// batch links tickets submitted in one SubmitBatch burst for the
 	// batch completion hook; nil for single submissions.
@@ -140,6 +176,9 @@ type batchGroup struct {
 func (t *Ticket) finishBatch() {
 	bg := t.batch
 	t.run = nil
+	t.img = nil
+	t.cfg = wasp.RunConfig{}
+	t.elig = nil
 	t.batch = nil
 	if bg == nil {
 		return
@@ -202,12 +241,26 @@ type Request struct {
 }
 
 // worker is one execution lane with its own virtual clock — the model
-// of one physical core serving virtines back to back. runs is atomic so
-// WorkerLoads stays a safe diagnostic read even while workers execute.
+// of one physical core serving virtines back to back — pinned to one
+// hypervisor backend: every image ticket it pops executes via
+// wasp.RunOn on that platform. runs is atomic so WorkerLoads stays a
+// safe diagnostic read even while workers execute.
 type worker struct {
-	id   int
-	clk  *cycles.Clock
-	runs atomic.Uint64
+	id    int
+	clk   *cycles.Clock
+	runs  atomic.Uint64
+	pname string // platform name (always set; the runtime default when unpinned)
+	beIdx int    // index into the scheduler's backend states
+}
+
+// backendState aggregates the fleet's workers per hypervisor backend.
+// completed is atomic (safe diagnostic reads); svcEWMA is guarded by
+// the dispatch lock and maintained only while a placer is attached.
+type backendState struct {
+	platform  vmm.Platform
+	workers   int
+	completed atomic.Uint64
+	svcEWMA   uint64
 }
 
 // Scheduler is a bounded worker-pool executor over a Wasp runtime.
@@ -215,11 +268,21 @@ type Scheduler struct {
 	w       *wasp.Wasp
 	virtual bool
 
-	// cleaner is the runtime's Wasp+CA background cleaner, when async
-	// cleaning is on: real-mode workers drain it on the idle lane;
-	// virtual mode drives it as a dedicated virtual core.
-	cleaner       *wasp.Cleaner
+	// cleaners are the runtime's Wasp+CA background cleaners (one per
+	// backend), when async cleaning is on: real-mode workers drain them
+	// on the idle lane; virtual mode drives each as a dedicated virtual
+	// core.
+	cleaners      []*wasp.Cleaner
 	cleanerDrains atomic.Uint64
+
+	// Multi-backend placement state: worker platform pins, per-backend
+	// aggregates, and the attached policy. imgSvc is the per-image
+	// service EWMA the policies consult (guarded by the dispatch lock of
+	// the scheduler's mode, maintained only while placer != nil).
+	platforms []vmm.Platform
+	bstates   []*backendState
+	placer    placement.Placer
+	imgSvc    map[string]uint64
 
 	// Real-mode dispatch queue: a condition-variable deque instead of a
 	// channel, so a burst enqueues under one lock acquisition with one
@@ -295,6 +358,30 @@ func WithAdmission(pol Admission) Option {
 	return func(s *Scheduler) { s.adm = newAdmission(pol) }
 }
 
+// WithWorkerPlatforms pins the fleet's workers to hypervisor backends:
+// worker i runs on ps[i%len(ps)], so New(w, 4, WithWorkerPlatforms(
+// vmm.KVM{}, vmm.HyperV{})) builds a 2+2 split fleet. Every platform
+// must be a backend of the scheduler's Wasp (wasp.WithPlatforms);
+// construction panics otherwise — a misconfigured fleet would fail
+// every ticket. Without this option all workers run on the runtime's
+// default backend.
+func WithWorkerPlatforms(ps ...vmm.Platform) Option {
+	return func(s *Scheduler) {
+		if len(ps) > 0 {
+			s.platforms = append([]vmm.Platform(nil), ps...)
+		}
+	}
+}
+
+// WithPlacer attaches a placement policy (internal/placement): each
+// image ticket becomes poppable only by workers on its eligible
+// backends, and the deterministic virtual dispatcher biases the choice
+// among eligible workers by the policy's weights. A ticket whose image
+// has no eligible backend is rejected with ErrPlacement at submission.
+func WithPlacer(p placement.Placer) Option {
+	return func(s *Scheduler) { s.placer = p }
+}
+
 // New builds a real-mode scheduler: n worker goroutines, each with its
 // own virtual clock, draining a bounded queue.
 func New(w *wasp.Wasp, n int, opts ...Option) *Scheduler {
@@ -330,13 +417,42 @@ func newScheduler(w *wasp.Wasp, n int, virtual bool, opts ...Option) *Scheduler 
 	for _, o := range opts {
 		o(s)
 	}
-	if c := w.Cleaner(); c != nil {
-		s.cleaner = c
+	if len(s.platforms) == 0 {
+		s.platforms = w.Platforms()[:1]
+	}
+	// Pin workers round-robin across the requested platforms and build
+	// the per-backend aggregates in first-appearance order (stable, so
+	// virtual-mode runs are reproducible).
+	beIdx := make(map[string]int)
+	for i, wk := range s.workers {
+		p := s.platforms[i%len(s.platforms)]
+		name := p.Name()
+		if !w.HasPlatform(name) {
+			panic(fmt.Sprintf("sched: worker platform %q is not a backend of this Wasp (use wasp.WithPlatforms)", name))
+		}
+		idx, ok := beIdx[name]
+		if !ok {
+			idx = len(s.bstates)
+			beIdx[name] = idx
+			s.bstates = append(s.bstates, &backendState{platform: p})
+		}
+		s.bstates[idx].workers++
+		wk.pname = name
+		wk.beIdx = idx
+	}
+	if s.placer != nil {
+		s.imgSvc = make(map[string]uint64)
+	}
+	if cs := w.Cleaners(); len(cs) > 0 {
+		s.cleaners = cs
 		if virtual {
-			// Model the cleaner as a dedicated virtual core: this
-			// scheduler drains it deterministically after each ticket
-			// (DrainAt) instead of the wall-clock background goroutine.
-			c.SetDriven(true)
+			// Model each backend's cleaner as a dedicated virtual core:
+			// this scheduler drains them deterministically after each
+			// ticket (DrainAt) instead of the wall-clock background
+			// goroutines.
+			for _, c := range cs {
+				c.SetDriven(true)
+			}
 		}
 	}
 	return s
@@ -363,12 +479,6 @@ func (s *Scheduler) SubmitAt(arrival uint64, img *guest.Image, cfg wasp.RunConfi
 	t := s.newTicket(arrival, true, img, cfg, nil)
 	s.submitTickets([]*Ticket{t})
 	return t
-}
-
-func (s *Scheduler) runTask(img *guest.Image, cfg wasp.RunConfig) Task {
-	return func(clk *cycles.Clock) (*wasp.Result, error) {
-		return s.w.Run(img, cfg, clk)
-	}
 }
 
 // SubmitFn schedules an arbitrary task on the worker pool.
@@ -445,9 +555,12 @@ func (s *Scheduler) newTicket(arrival uint64, hasArrival bool, img *guest.Image,
 // initTicket fills a ticket's work and identity from an image-or-task
 // submission — the single source of truth for both the single-submit
 // and batch paths. tag, when non-empty, overrides the image identity.
+// Image submissions stay as (img, cfg) rather than a closure so the
+// serving worker can run them on its own pinned backend.
 func (s *Scheduler) initTicket(t *Ticket, img *guest.Image, cfg wasp.RunConfig, fn Task, tag string) {
 	if img != nil {
-		t.run = s.runTask(img, cfg)
+		t.img = img
+		t.cfg = cfg
 		t.Image = img.Name
 		t.memBytes = img.MemBytes()
 	} else {
@@ -455,6 +568,71 @@ func (s *Scheduler) initTicket(t *Ticket, img *guest.Image, cfg wasp.RunConfig, 
 	}
 	if tag != "" {
 		t.Image = tag
+	}
+}
+
+// placeWeightsLocked computes the ticket's placement weights, one per
+// fleet backend (nil = unrestricted: no placer attached). withLoad
+// additionally counts the workers busy at virtual time `at` into each
+// backend's Busy — meaningful only in virtual mode, where worker clocks
+// are coherent under the dispatch lock. Caller holds the mode's
+// dispatch lock.
+func (s *Scheduler) placeWeightsLocked(t *Ticket, at uint64, withLoad bool) []float64 {
+	if s.placer == nil {
+		return nil
+	}
+	infos := make([]placement.BackendInfo, len(s.bstates))
+	for i, bs := range s.bstates {
+		infos[i] = placement.BackendInfo{
+			Platform:  bs.platform,
+			Workers:   bs.workers,
+			SvcEWMA:   bs.svcEWMA,
+			Completed: bs.completed.Load(),
+		}
+	}
+	if withLoad {
+		for _, wk := range s.workers {
+			if wk.clk.Now() > at {
+				infos[wk.beIdx].Busy++
+			}
+		}
+	}
+	img := placement.ImageInfo{Name: t.Image, MemBytes: t.memBytes, SvcEWMA: s.imgSvc[t.Image]}
+	ws := s.placer.Place(img, infos)
+	if len(ws) < len(s.bstates) {
+		return nil // short or nil return: treat as unrestricted
+	}
+	return ws
+}
+
+// anyEligible reports whether some backend may serve a ticket with
+// these weights (nil = unrestricted).
+func anyEligible(ws []float64) bool {
+	if ws == nil {
+		return true
+	}
+	for _, w := range ws {
+		if w > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// eligibleOn reports whether backend beIdx may serve a ticket with
+// these weights.
+func eligibleOn(ws []float64, beIdx int) bool {
+	return ws == nil || ws[beIdx] > 0
+}
+
+// noteServiceLocked folds a completed ticket's service time into the
+// placement EWMAs (per backend and per image). Caller holds the mode's
+// dispatch lock; called only while a placer is attached.
+func (s *Scheduler) noteServiceLocked(t *Ticket, wk *worker) {
+	bs := s.bstates[wk.beIdx]
+	bs.svcEWMA = stats.EWMA(bs.svcEWMA, t.ServiceCycles())
+	if t.Image != "" {
+		s.imgSvc[t.Image] = stats.EWMA(s.imgSvc[t.Image], t.ServiceCycles())
 	}
 }
 
@@ -523,8 +701,20 @@ func (s *Scheduler) putTickets(ts []*Ticket) (rejected []*Ticket) {
 	accepted := 0
 	s.dmu.Lock()
 	for _, t := range ts {
-		if t.run == nil {
+		if t.run == nil && t.img == nil {
 			t.err = errNilTask
+			if s.adm != nil {
+				s.adm.noteRejected(t.Image)
+			}
+			rejected = append(rejected, t)
+			continue
+		}
+		// Placement eligibility is fixed at enqueue in real mode: the
+		// weights gate which workers may pop the ticket. An image no
+		// backend may serve is rejected here rather than parked forever.
+		t.elig = s.placeWeightsLocked(t, 0, false)
+		if !anyEligible(t.elig) {
+			t.err = ErrPlacement
 			if s.adm != nil {
 				s.adm.noteRejected(t.Image)
 			}
@@ -567,10 +757,14 @@ func (s *Scheduler) putTickets(ts []*Ticket) (rejected []*Ticket) {
 	// One wake for the burst — but a single submission wakes a single
 	// worker: pick eligibility is global, so broadcasting one ticket to
 	// N idle workers is a thundering herd on the hot dispatch path.
+	// With a placer on a mixed fleet that reasoning breaks — a Signal
+	// could land on a worker whose backend may not serve the ticket,
+	// which would then park again and strand the ticket — so
+	// platform-constrained dispatch always broadcasts.
 	switch {
-	case accepted == 1:
+	case accepted == 1 && (s.placer == nil || len(s.bstates) == 1):
 		s.notEmpty.Signal()
-	case accepted > 1:
+	case accepted >= 1:
 		s.notEmpty.Broadcast()
 	}
 	s.dmu.Unlock()
@@ -585,28 +779,44 @@ const (
 	popDone
 )
 
-// popTicket takes the next schedulable ticket: the FIFO head, or the
-// admission layer's weighted pick across per-image queues. With block
-// it waits until a ticket is eligible or the queue is closed and
-// drained; deferred tickets (image at its hard cap) keep the worker
-// waiting until a completion frees a slot.
-func (s *Scheduler) popTicket(block bool) (*Ticket, popResult) {
+// popTicket takes the next ticket the given worker's backend may serve:
+// the first eligible FIFO entry, or the admission layer's weighted pick
+// across per-image queues restricted to eligible images. With block it
+// waits until a ticket is eligible or the queue is closed and drained;
+// deferred tickets (image at its hard cap) and tickets pinned to other
+// platforms keep the worker waiting until its own work appears.
+func (s *Scheduler) popTicket(wk *worker, block bool) (*Ticket, popResult) {
+	eligible := func(t *Ticket) bool { return eligibleOn(t.elig, wk.beIdx) }
 	s.dmu.Lock()
 	defer s.dmu.Unlock()
 	for {
 		var t *Ticket
 		if s.adm != nil {
-			t = s.adm.pick()
-		} else if s.fifoHead < len(s.fifo) {
-			t = s.fifo[s.fifoHead]
-			s.fifo[s.fifoHead] = nil
-			s.fifoHead++
+			t = s.adm.pick(eligible)
+		} else {
+			// Skip holes earlier platform-affine pops left behind.
+			for s.fifoHead < len(s.fifo) && s.fifo[s.fifoHead] == nil {
+				s.fifoHead++
+			}
+			for i := s.fifoHead; i < len(s.fifo); i++ {
+				c := s.fifo[i]
+				if c == nil || !eligible(c) {
+					continue
+				}
+				t = c
+				s.fifo[i] = nil
+				if i == s.fifoHead {
+					s.fifoHead++
+				}
+				break
+			}
 			if s.fifoHead == len(s.fifo) {
 				s.fifo = s.fifo[:0]
 				s.fifoHead = 0
 			} else if s.fifoHead > 1024 && 2*s.fifoHead > len(s.fifo) {
 				// Compact the drained prefix so a long-lived queue does
-				// not pin its high-water backing array.
+				// not pin its high-water backing array. Interior holes
+				// survive the copy and are skipped by the scan above.
 				s.fifo = append(s.fifo[:0], s.fifo[s.fifoHead:]...)
 				s.fifoHead = 0
 			}
@@ -615,6 +825,12 @@ func (s *Scheduler) popTicket(block bool) (*Ticket, popResult) {
 			s.queuedN--
 			s.depth.Store(int64(s.queuedN))
 			s.notFull.Signal()
+			if s.qclosed && s.queuedN == 0 {
+				// Draining just finished: wake workers parked on a backlog
+				// their backend could not serve, or they would sleep
+				// through popDone forever and Close would hang on them.
+				s.notEmpty.Broadcast()
+			}
 			return t, popGot
 		}
 		if s.qclosed && s.queuedN == 0 {
@@ -636,19 +852,30 @@ func (s *Scheduler) popTicket(block bool) (*Ticket, popResult) {
 func (s *Scheduler) workerLoop(wk *worker) {
 	defer s.wg.Done()
 	for {
-		t, st := s.popTicket(false)
+		t, st := s.popTicket(wk, false)
 		if st == popEmpty {
-			if s.cleaner != nil && s.cleaner.DrainOne() {
-				s.cleanerDrains.Add(1)
+			if s.drainOneCleaner() {
 				continue
 			}
-			t, st = s.popTicket(true)
+			t, st = s.popTicket(wk, true)
 		}
 		if st == popDone {
 			return
 		}
 		s.exec(wk, t)
 	}
+}
+
+// drainOneCleaner scrubs one dirty shell from any backend's cleaner
+// (the Wasp+CA low-priority idle lane).
+func (s *Scheduler) drainOneCleaner() bool {
+	for _, c := range s.cleaners {
+		if c.DrainOne() {
+			s.cleanerDrains.Add(1)
+			return true
+		}
+	}
+	return false
 }
 
 // exec runs one ticket on a worker, stamping its virtual-time bounds.
@@ -663,15 +890,32 @@ func (s *Scheduler) exec(wk *worker, t *Ticket) {
 		t.Arrival = t.Start
 	}
 	t.Worker = wk.id
-	t.res, t.err = t.run(wk.clk)
+	t.Platform = wk.pname
+	if t.img != nil {
+		// Image tickets execute on the serving worker's pinned backend:
+		// its platform's Fig 5 costs, its shell pools, its snapshots.
+		t.res, t.err = s.w.RunOn(wk.pname, t.img, t.cfg, wk.clk)
+	} else {
+		t.res, t.err = t.run(wk.clk)
+	}
 	t.Done = wk.clk.Now()
 	wk.runs.Add(1)
 	s.completed.Add(1)
+	s.bstates[wk.beIdx].completed.Add(1)
 	if t.memBytes > 0 {
-		// Feed the pool-sizing policy: backlog at submit and service
-		// time of this image's size class (prewarm under bursts, shrink
-		// when idle).
-		s.w.ObserveLoad(t.Image, t.memBytes, t.DepthAtSubmit, t.Done-t.Start)
+		// Feed the pool-sizing policy of the backend that served the
+		// ticket: backlog at submit and service time of this image's
+		// size class (prewarm under bursts, shrink when idle).
+		s.w.ObserveLoadOn(wk.pname, t.Image, t.memBytes, t.DepthAtSubmit, t.Done-t.Start)
+	}
+	if s.placer != nil {
+		if s.virtual {
+			s.noteServiceLocked(t, wk) // virtual dispatch already holds mu
+		} else {
+			s.dmu.Lock()
+			s.noteServiceLocked(t, wk)
+			s.dmu.Unlock()
+		}
 	}
 	if s.adm != nil {
 		s.noteDone(t)
@@ -735,8 +979,19 @@ func (s *Scheduler) dispatchVirtual(ts []*Ticket) []*Ticket {
 // effective start). Reports whether the ticket was admitted. Caller
 // holds mu.
 func (s *Scheduler) dispatchVirtualOne(t *Ticket) bool {
-	if t.run == nil {
+	if t.run == nil && t.img == nil {
 		t.err = errNilTask
+		if s.adm != nil {
+			s.adm.noteRejected(t.Image)
+		}
+		return false
+	}
+	// One placer evaluation serves both the eligibility gate and the
+	// placement decision: dispatch is synchronous, so the decision-time
+	// state placeVirtual needs is exactly the state here.
+	t.elig = s.placeWeightsLocked(t, t.Arrival, true)
+	if !anyEligible(t.elig) {
+		t.err = ErrPlacement
 		if s.adm != nil {
 			s.adm.noteRejected(t.Image)
 		}
@@ -762,19 +1017,73 @@ func (s *Scheduler) dispatchVirtualOne(t *Ticket) bool {
 	return true
 }
 
-// placeVirtual assigns the ticket to the earliest-free worker in
-// virtual time and services it synchronously — the event-driven core.
-// Ties break toward the lowest worker index, keeping runs
-// deterministic. Caller holds mu.
-func (s *Scheduler) placeVirtual(t *Ticket) {
+// earliestFree returns the worker with the lowest clock, ties toward
+// the lowest index — the classic deterministic selection rule.
+func (s *Scheduler) earliestFree() *worker {
 	best := s.workers[0]
+	for _, wk := range s.workers {
+		if wk.clk.Now() < best.clk.Now() {
+			best = wk
+		}
+	}
+	return best
+}
+
+// placeVirtual assigns the ticket to a worker in virtual time and
+// services it synchronously — the event-driven core. Without a placer
+// it is the classic earliest-free-worker rule; with one, the choice is
+// restricted to workers on eligible backends and each candidate's
+// earliest start is penalized by the backend's placement bias
+// (placement.Bias of its weight) — deterministic cost-aware list
+// scheduling. Ties break toward the earlier worker clock, then the
+// lowest worker index, keeping runs reproducible. Caller holds mu.
+func (s *Scheduler) placeVirtual(t *Ticket) {
 	busy := 0
 	for _, wk := range s.workers {
 		if wk.clk.Now() > t.Arrival {
 			busy++
 		}
-		if wk.clk.Now() < best.clk.Now() {
-			best = wk
+	}
+	var best *worker
+	if s.placer == nil {
+		best = s.earliestFree()
+	} else {
+		// Decision-time weights: load-sensitive policies see the busy
+		// counts and EWMAs as of the ticket's arrival. The single-ticket
+		// dispatch path computed them moments ago under this same lock
+		// hold (t.elig); the event-driven batch path reaches here at a
+		// later decision time and computes fresh.
+		weights := t.elig
+		if weights == nil {
+			weights = s.placeWeightsLocked(t, t.Arrival, true)
+		}
+		eff := t.Arrival
+		if t.notBefore > eff {
+			eff = t.notBefore
+		}
+		var bestScore uint64
+		for _, wk := range s.workers {
+			if !eligibleOn(weights, wk.beIdx) {
+				continue
+			}
+			start := wk.clk.Now()
+			if start < eff {
+				start = eff
+			}
+			score := start
+			if weights != nil {
+				score += placement.Bias(weights[wk.beIdx])
+			}
+			if best == nil || score < bestScore ||
+				(score == bestScore && wk.clk.Now() < best.clk.Now()) {
+				best, bestScore = wk, score
+			}
+		}
+		if best == nil {
+			// Eligibility was checked at dispatch entry; a placer that
+			// flips to all-ineligible mid-flight still must not lose the
+			// ticket — fall back to earliest-free.
+			best = s.earliestFree()
 		}
 	}
 	t.DepthAtSubmit = busy
@@ -782,10 +1091,10 @@ func (s *Scheduler) placeVirtual(t *Ticket) {
 		s.peakDepth.Store(d)
 	}
 	s.exec(best, t)
-	if s.cleaner != nil {
-		// The dedicated virtual cleaner core picks up the shells this
+	for _, c := range s.cleaners {
+		// The dedicated virtual cleaner cores pick up the shells this
 		// ticket released, no earlier than the ticket's completion.
-		s.cleanerDrains.Add(uint64(s.cleaner.DrainAt(t.Done)))
+		s.cleanerDrains.Add(uint64(c.DrainAt(t.Done)))
 	}
 }
 
@@ -807,8 +1116,14 @@ func (s *Scheduler) dispatchVirtualWeighted(ts []*Ticket) (rejected []*Ticket) {
 	a := s.adm
 	pending := make([]*Ticket, 0, len(ts))
 	for _, t := range ts {
-		if t.run == nil {
+		if t.run == nil && t.img == nil {
 			t.err = errNilTask
+			a.noteRejected(t.Image)
+			rejected = append(rejected, t)
+			continue
+		}
+		if !anyEligible(s.placeWeightsLocked(t, t.Arrival, false)) {
+			t.err = ErrPlacement
 			a.noteRejected(t.Image)
 			rejected = append(rejected, t)
 			continue
@@ -1013,10 +1328,12 @@ func (s *Scheduler) Close() {
 		s.notFull.Broadcast()
 		s.dmu.Unlock()
 		s.wg.Wait()
-	} else if s.cleaner != nil {
+	} else {
 		// Hand drain ownership back to the runtime: any leftover dirty
-		// shells go to the background cleaner.
-		s.cleaner.SetDriven(false)
+		// shells go to the background cleaners.
+		for _, c := range s.cleaners {
+			c.SetDriven(false)
+		}
 	}
 }
 
@@ -1045,26 +1362,80 @@ func (s *Scheduler) WorkerLoads() []uint64 {
 	return out
 }
 
+// WorkerLoad is one worker's identity and lifetime completion count.
+type WorkerLoad struct {
+	Worker   int
+	Platform string
+	Runs     uint64
+}
+
+// WorkerInfo reports each worker's pinned platform alongside its
+// completed-run count — WorkerLoads with the backend identity the
+// multi-platform bench tables and examples print. Safe while workers
+// execute (the counts are atomic).
+func (s *Scheduler) WorkerInfo() []WorkerLoad {
+	out := make([]WorkerLoad, len(s.workers))
+	for i, wk := range s.workers {
+		out[i] = WorkerLoad{Worker: wk.id, Platform: wk.pname, Runs: wk.runs.Load()}
+	}
+	return out
+}
+
+// BackendLoad aggregates one hypervisor backend's slice of the fleet.
+type BackendLoad struct {
+	Platform  string
+	Workers   int
+	Completed uint64
+}
+
+// BackendLoads reports per-backend worker counts and completed-ticket
+// totals, in fleet declaration order — where the work actually landed.
+// Safe while workers execute.
+func (s *Scheduler) BackendLoads() []BackendLoad {
+	out := make([]BackendLoad, len(s.bstates))
+	for i, bs := range s.bstates {
+		out[i] = BackendLoad{
+			Platform:  bs.platform.Name(),
+			Workers:   bs.workers,
+			Completed: bs.completed.Load(),
+		}
+	}
+	return out
+}
+
 // CleanerDrains reports dirty shells this scheduler scrubbed: on the
 // real-mode idle-worker lane, or on the virtual cleaner core.
 func (s *Scheduler) CleanerDrains() uint64 { return s.cleanerDrains.Load() }
 
-// CleanerCycles reports the virtual cleaner core's clock — the total
+// CleanerCycles reports the virtual cleaner cores' clock — the virtual
+// time the busiest backend's cleaner last went idle, i.e. the total
 // zeroing work Wasp+CA moved off the request path (virtual mode; 0 when
 // cleaning is synchronous or real-mode).
 func (s *Scheduler) CleanerCycles() uint64 {
-	if s.cleaner == nil {
-		return 0
+	var max uint64
+	for _, c := range s.cleaners {
+		if n := c.Cycles(); n > max {
+			max = n
+		}
 	}
-	return s.cleaner.Cycles()
+	return max
 }
 
-// String summarizes scheduler state for diagnostics.
+// String summarizes scheduler state for diagnostics, including each
+// backend's worker count and completed-ticket total so a mixed fleet
+// shows where work landed.
 func (s *Scheduler) String() string {
 	mode := "real"
 	if s.virtual {
 		mode = "virtual"
 	}
-	return fmt.Sprintf("sched{%s, workers=%d, submitted=%d, completed=%d, rejected=%d, depth=%d}",
-		mode, len(s.workers), s.Submitted(), s.Completed(), s.Rejected(), s.QueueDepth())
+	backends := ""
+	for i, bs := range s.bstates {
+		if i > 0 {
+			backends += " "
+		}
+		backends += fmt.Sprintf("%s:%dw/%d", bs.platform.Name(), bs.workers, bs.completed.Load())
+	}
+	return fmt.Sprintf("sched{%s, workers=%d, backends=[%s], submitted=%d, completed=%d, rejected=%d, depth=%d}",
+		mode, len(s.workers), backends, s.Submitted(), s.Completed(), s.Rejected(), s.QueueDepth())
 }

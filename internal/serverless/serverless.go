@@ -25,9 +25,12 @@ import (
 	"sync"
 
 	"repro/internal/cycles"
+	"repro/internal/guest"
 	"repro/internal/js"
+	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/vmm"
 	"repro/internal/wasp"
 )
 
@@ -538,6 +541,192 @@ func RunNoisyNeighbor(w *wasp.Wasp, config string, workers, horizonSec int, adm 
 			P99QueueMs:    cycles.Millis(uint64(stats.Percentile(a.queues, 99))),
 			Share:         share,
 		})
+	}
+	rep.Jain = stats.Jain(shares)
+	return rep, nil
+}
+
+// --- Multi-backend placement experiment ----------------------------------
+//
+// A mixed fleet (KVM and Hyper-V workers under one virtual scheduler)
+// serves a saturating mix of short-lived virtines — whose cost is
+// dominated by the Fig 5 create/entry/exit overheads, so the backend
+// choice matters proportionally — and long-lived ones that amortize
+// those overheads over real guest compute. The same trace runs on
+// homogeneous half-fleets (only the KVM machines, only the Hyper-V
+// machines) and on the full split fleet under each placement policy,
+// so the bench table shows both the capacity win of spanning all the
+// hardware and the policy differences on the split fleet itself.
+
+// PlacementShortImage is the short-lived virtine of the placement mix:
+// a real-mode guest that does a few dozen ALU ops and halts, so one
+// entry/exit pair and the (amortized) create cost dominate its run.
+func PlacementShortImage() *guest.Image {
+	return guest.MustFromAsm("plc-short", `.bits 16
+.org 0x8000
+_start:
+	movi rcx, 24
+plc_spin:
+	add rax, rcx
+	dec rcx
+	jnz plc_spin
+	hlt
+`)
+}
+
+// PlacementLongImage is the long-lived virtine: a 64-bit guest that
+// boots to long mode and runs a recursive fib — enough retired
+// instructions that the per-run hypervisor overhead is noise.
+func PlacementLongImage() *guest.Image {
+	return guest.MustFromAsm("plc-long", guest.WrapLongMode(`
+	movi rdi, 15
+	call plc_fib
+	hlt
+plc_fib:
+	cmp rdi, 2
+	jge plc_fib_rec
+	mov rax, rdi
+	ret
+plc_fib_rec:
+	push rdi
+	sub rdi, 1
+	call plc_fib
+	pop rdi
+	push rax
+	sub rdi, 2
+	call plc_fib
+	pop rbx
+	add rax, rbx
+	ret
+`))
+}
+
+// BackendSlice is one hypervisor backend's slice of a placement run.
+type BackendSlice struct {
+	Platform string
+	Workers  int
+	Runs     uint64
+	// ShortRuns counts the short-lived class's runs that landed here —
+	// the class a cost-aware policy should steer to the cheap backend.
+	ShortRuns uint64
+	// SvcCycles is the total service time the backend's workers
+	// delivered; Share normalizes it by the backend's capacity share of
+	// the fleet (1.0 = exactly its proportional load).
+	SvcCycles uint64
+	Share     float64
+}
+
+// PlacementReport is one fleet configuration's run of the mixed trace.
+type PlacementReport struct {
+	Config  string
+	Workers int
+	// Makespan is the virtual time the last worker went idle.
+	Makespan uint64
+	// ShortP50Ms and LongP50Ms are median arrival→completion latencies
+	// per workload class.
+	ShortP50Ms, LongP50Ms float64
+	// MeanOverhead is the mean per-run cycle cost of the short class —
+	// where the backends' Fig 5 profiles actually show.
+	MeanShortCycles uint64
+	Backends        []BackendSlice
+	// Jain is Jain's fairness index over the backends' capacity-
+	// normalized service shares: 1.0 when every backend carries exactly
+	// its proportional load.
+	Jain                float64
+	Completed, Rejected uint64
+}
+
+// PlacementTrace builds the deterministic mixed arrival trace: shorts
+// requests of the short-lived image arriving every 2k cycles and longs
+// requests of the long-lived one every 10k — a saturating burst for the
+// fleets the experiment compares.
+func PlacementTrace(shorts, longs int) []sched.Request {
+	short, long := PlacementShortImage(), PlacementLongImage()
+	reqs := make([]sched.Request, 0, shorts+longs)
+	for i := 0; i < shorts; i++ {
+		reqs = append(reqs, sched.Request{Arrival: uint64(i) * 2_000, Img: short})
+	}
+	for i := 0; i < longs; i++ {
+		reqs = append(reqs, sched.Request{Arrival: uint64(i) * 10_000, Img: long})
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	return reqs
+}
+
+// RunPlacementMix drives the mixed short/long trace through a
+// virtual-mode scheduler whose workers are pinned round-robin to the
+// given fleet platforms, under the given placement policy (nil for
+// plain earliest-free dispatch). w must own every fleet platform
+// (wasp.WithPlatforms). Fully deterministic: same trace, fleet, and
+// policy produce bit-identical schedules.
+func RunPlacementMix(w *wasp.Wasp, config string, fleet []vmm.Platform, pl placement.Placer, shorts, longs int) (*PlacementReport, error) {
+	if len(fleet) == 0 {
+		fleet = w.Platforms()
+	}
+	opts := []sched.Option{sched.WithWorkerPlatforms(fleet...)}
+	if pl != nil {
+		opts = append(opts, sched.WithPlacer(pl))
+	}
+	s := sched.NewVirtual(w, len(fleet), opts...)
+	defer s.Close()
+
+	shortName := PlacementShortImage().Name
+	tickets := s.SubmitBatchAt(PlacementTrace(shorts, longs))
+
+	rep := &PlacementReport{Config: config, Workers: len(fleet)}
+	byPlat := make(map[string]*BackendSlice)
+	for _, bl := range s.BackendLoads() {
+		sl := &BackendSlice{Platform: bl.Platform, Workers: bl.Workers}
+		byPlat[bl.Platform] = sl
+	}
+	var shortLat, longLat []float64
+	var shortCycles, shortRuns uint64
+	for _, tk := range tickets {
+		if _, err := tk.Wait(); err != nil {
+			if errors.Is(err, sched.ErrPlacement) || errors.Is(err, sched.ErrAdmission) {
+				rep.Rejected++
+				continue
+			}
+			return nil, err
+		}
+		rep.Completed++
+		sl := byPlat[tk.Platform]
+		sl.Runs++
+		sl.SvcCycles += tk.ServiceCycles()
+		if tk.Image == shortName {
+			sl.ShortRuns++
+			shortLat = append(shortLat, float64(tk.Done-tk.Arrival))
+			shortCycles += tk.ServiceCycles()
+			shortRuns++
+		} else {
+			longLat = append(longLat, float64(tk.Done-tk.Arrival))
+		}
+	}
+	rep.Makespan = s.Makespan()
+	rep.ShortP50Ms = cycles.Millis(uint64(stats.Percentile(shortLat, 50)))
+	rep.LongP50Ms = cycles.Millis(uint64(stats.Percentile(longLat, 50)))
+	if shortRuns > 0 {
+		rep.MeanShortCycles = shortCycles / shortRuns
+	}
+
+	var totalSvc uint64
+	for _, sl := range byPlat {
+		totalSvc += sl.SvcCycles
+	}
+	names := make([]string, 0, len(byPlat))
+	for name := range byPlat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var shares []float64
+	for _, name := range names {
+		sl := byPlat[name]
+		if totalSvc > 0 && sl.Workers > 0 {
+			capShare := float64(sl.Workers) / float64(len(fleet))
+			sl.Share = (float64(sl.SvcCycles) / float64(totalSvc)) / capShare
+		}
+		shares = append(shares, sl.Share)
+		rep.Backends = append(rep.Backends, *sl)
 	}
 	rep.Jain = stats.Jain(shares)
 	return rep, nil

@@ -53,3 +53,15 @@ func (HyperV) ExitCost() uint64 { return cycles.HVExit }
 
 // DefaultPlatform is the backend Create uses.
 var DefaultPlatform Platform = KVM{}
+
+// ByName resolves a built-in platform by its Name (the identity the
+// placement and scheduling layers key on).
+func ByName(name string) (Platform, bool) {
+	switch name {
+	case KVM{}.Name():
+		return KVM{}, true
+	case HyperV{}.Name():
+		return HyperV{}, true
+	}
+	return nil, false
+}

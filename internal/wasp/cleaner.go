@@ -29,7 +29,10 @@ import (
 // the caller never pays a cold create for a shell the cleaner simply
 // has not reached yet.
 type Cleaner struct {
-	w *Wasp
+	// pools is the owning backend's shell cache: under multi-platform
+	// runtimes each backend has its own cleaner, so a dirty shell is
+	// always scrubbed back into the pool of the platform it ran on.
+	pools *shellPools
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -60,8 +63,8 @@ type dirtyShell struct {
 	s        *shell
 }
 
-func newCleaner(w *Wasp) *Cleaner {
-	c := &Cleaner{w: w, queued: make(map[int]int), inflight: make(map[int]int), vclk: cycles.NewClock()}
+func newCleaner(pools *shellPools) *Cleaner {
+	c := &Cleaner{pools: pools, queued: make(map[int]int), inflight: make(map[int]int), vclk: cycles.NewClock()}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -94,7 +97,7 @@ func (c *Cleaner) enqueue(memBytes int, s *shell) {
 // capacity: a deeper backlog could never be absorbed by the pool
 // anyway, so retaining it would just pin dead guest memory. Called with
 // mu held.
-func (c *Cleaner) backlogCap() int { return 2 * c.w.pools.policy.MaxPerClass }
+func (c *Cleaner) backlogCap() int { return 2 * c.pools.policy.MaxPerClass }
 
 // drainLoop scrubs queued shells until the queue is empty or a driver
 // takes over, then exits; enqueue restarts it on demand.
@@ -135,7 +138,7 @@ func (c *Cleaner) scrub(d dirtyShell, toCaller bool) *shell {
 	if toCaller {
 		return d.s
 	}
-	if !c.w.pools.put(d.memBytes, d.s) {
+	if !c.pools.put(d.memBytes, d.s) {
 		c.dropped.Add(1)
 	}
 	return nil
@@ -226,7 +229,7 @@ func (c *Cleaner) reclaim(memBytes int) *shell {
 			return nil
 		}
 		c.cond.Wait()
-		if s := c.w.pools.take(memBytes); s != nil {
+		if s := c.pools.take(memBytes); s != nil {
 			c.mu.Unlock()
 			return s
 		}

@@ -29,9 +29,10 @@ type snapshotWire struct {
 	Booted   bool
 }
 
-// ExportSnapshot serializes the named image's snapshot for migration.
+// ExportSnapshot serializes the named image's snapshot (from the
+// default backend's registry) for migration.
 func (w *Wasp) ExportSnapshot(name string) ([]byte, error) {
-	snap := w.getSnapshot(name)
+	snap := w.backends[0].snapshots.get(name)
 	if snap == nil {
 		return nil, fmt.Errorf("wasp: no snapshot for image %q", name)
 	}
@@ -65,7 +66,7 @@ func (w *Wasp) ImportSnapshot(name string, data []byte) error {
 		return fmt.Errorf("wasp: snapshot for %q is malformed (captured=%d, mem=%d)",
 			name, wire.Captured, len(wire.Mem))
 	}
-	w.putSnapshot(name, &snapshot{
+	w.backends[0].snapshots.put(name, &snapshot{
 		mem:      wire.Mem,
 		captured: wire.Captured,
 		state:    wire.State,

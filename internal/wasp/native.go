@@ -28,6 +28,7 @@ import (
 // is summarized by Charge calls.
 type NativeCtx struct {
 	wasp     *Wasp
+	be       *backend
 	img      *guest.Image
 	ctx      *vmm.Context
 	cfg      *RunConfig
@@ -59,7 +60,7 @@ func (n *NativeCtx) Restored() any { return n.restored }
 // exit, dispatch, and re-entry costs and passing the policy gate —
 // exactly what an OUT instruction costs an interpreted guest.
 func (n *NativeCtx) Hypercall(nr uint8, args ...uint64) (uint64, error) {
-	n.clk.Advance(cycles.VMExit)
+	n.clk.Advance(n.ctx.Platform().ExitCost())
 	n.clk.Advance(cycles.HypercallDispatch)
 	n.ctx.ExitsIO++
 	call := hypercall.Args{Nr: nr}
@@ -78,7 +79,7 @@ func (n *NativeCtx) Hypercall(nr uint8, args ...uint64) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("wasp: %s failed: %w", hypercall.Name(nr), err)
 	}
-	n.clk.Advance(cycles.VMRunEntry)
+	n.clk.Advance(n.ctx.Platform().EntryCost())
 	n.ctx.Entries++
 	return ret, nil
 }
@@ -90,5 +91,5 @@ func (n *NativeCtx) TakeSnapshot(state any) {
 	if !n.cfg.Snapshot || !n.wasp.snapEnable {
 		return
 	}
-	n.wasp.capture(n.ctx, n.img, state, true, n.clk)
+	n.wasp.capture(n.be, n.ctx, n.img, state, true, n.clk)
 }

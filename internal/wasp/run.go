@@ -75,10 +75,24 @@ type Result struct {
 
 const defaultMaxSteps = 200_000_000
 
-// Run executes one virtine: provision a context, populate it (image boot
-// or snapshot restore), marshal arguments, enter the guest, interpose on
-// every hypercall, and tear down. All costs land on clk.
+// Run executes one virtine on the default backend: provision a context,
+// populate it (image boot or snapshot restore), marshal arguments, enter
+// the guest, interpose on every hypercall, and tear down. All costs land
+// on clk.
 func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result, error) {
+	return w.RunOn("", img, cfg, clk)
+}
+
+// RunOn executes one virtine on a named hypervisor backend ("" for the
+// default). The run draws shells from, and returns them to, that
+// backend's pools and registries exclusively; the platform's Fig 5
+// create/entry/exit costs are charged on clk. The scheduler's
+// platform-affine workers call this with their pinned backend.
+func (w *Wasp) RunOn(platform string, img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result, error) {
+	be, err := w.backendFor(platform)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Policy == nil {
 		cfg.Policy = hypercall.DenyAll{}
 	}
@@ -97,12 +111,14 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 	start := clk.Now()
 	memBytes := img.MemBytes()
 
-	// COW resets apply to interpreted guests with snapshotting on.
+	// COW resets apply to interpreted guests with snapshotting on. COW
+	// shells are image- AND backend-bound: a context parked after a KVM
+	// run only ever serves the image's next KVM run.
 	cowEligible := w.cow && cfg.Snapshot && w.snapEnable && img.Native == nil
 	var ctx *vmm.Context
 	resident := false
 	if cowEligible {
-		if c := w.takeCOWShell(img.Name); c != nil {
+		if c := be.cowShells.take(img.Name); c != nil {
 			ctx = c
 			resident = true
 			clk.Advance(cycles.PoolAcquire)
@@ -111,7 +127,7 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 		}
 	}
 	if ctx == nil {
-		ctx = w.acquire(memBytes, clk)
+		ctx = w.acquire(be, memBytes, clk)
 	}
 	ctx.CPU.Legacy = w.legacyInterp
 	parked := false
@@ -126,7 +142,7 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 	res := &Result{}
 	var snap *snapshot
 	if cfg.Snapshot && w.snapEnable {
-		snap = w.getSnapshot(img.Name)
+		snap = be.snapshots.get(img.Name)
 	}
 	if snap == nil {
 		resident = false // nothing to reset against
@@ -176,12 +192,13 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 		clk.Advance(cycles.GuestLoadSetup)
 	}
 
-	// Adopt the image's predecoded code pages (decode once per image,
-	// not once per run). Adoption verifies page content against guest
-	// memory, so it is sound for cold loads, snapshot restores, and COW
-	// resets alike; under the legacy interpreter the cache is unused.
+	// Adopt the image's predecoded code pages (decode once per content,
+	// not once per run — renamed tenant clones share the entry). Adoption
+	// verifies page content against guest memory, so it is sound for cold
+	// loads, snapshot restores, and COW resets alike; under the legacy
+	// interpreter the cache is unused.
 	if !w.legacyInterp {
-		if cc := w.codes.get(img.Name); !cc.Empty() {
+		if cc := w.codes.get(img.ContentKey()); !cc.Empty() {
 			ctx.CPU.AdoptCode(cc)
 		}
 	}
@@ -202,20 +219,20 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 	// entirely; otherwise run the guest (boot stub or full program).
 	restoredNative := snap != nil && snap.booted && img.Native != nil
 	if !restoredNative {
-		if err := w.runGuest(ctx, img, &cfg, gm, res, clk); err != nil {
+		if err := w.runGuest(be, ctx, img, &cfg, gm, res, clk); err != nil {
 			return nil, err
 		}
 	}
 
 	if img.Native != nil && !cfg.Env.Exited {
 		nctx := &NativeCtx{
-			wasp: w, img: img, ctx: ctx, cfg: &cfg, clk: clk,
+			wasp: w, be: be, img: img, ctx: ctx, cfg: &cfg, clk: clk,
 			env: cfg.Env, gm: gm, res: res,
 		}
 		if snap != nil {
 			nctx.restored = snap.native
 		}
-		clk.Advance(cycles.VMRunEntry)
+		clk.Advance(be.platform.EntryCost())
 		if ctx.FirstEntry == 0 {
 			ctx.FirstEntry = clk.Now()
 		}
@@ -223,7 +240,7 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 		if err := img.Native(nctx); err != nil {
 			return nil, fmt.Errorf("wasp: native workload: %w", err)
 		}
-		clk.Advance(cycles.VMExit)
+		clk.Advance(be.platform.ExitCost())
 	}
 
 	if cfg.RetBytes > 0 {
@@ -261,18 +278,22 @@ func (w *Wasp) Run(img *guest.Image, cfg RunConfig, clk *cycles.Clock) (*Result,
 	// every page was adopted and nothing new was decoded, so the
 	// freeze/merge (and its registry write lock) is skipped entirely.
 	if !w.legacyInterp && ctx.CPU.CodeNew() {
-		w.codes.merge(img.Name, ctx.CPU.ShareCode())
+		w.codes.merge(img.ContentKey(), ctx.CPU.ShareCode())
 	}
-	if cowEligible && w.HasSnapshot(img.Name) {
+	if cowEligible && be.snapshots.has(img.Name) {
+		// Park the context for the image's next COW reset on this
+		// backend; if one is already parked, recycle through the pool.
 		parked = true
-		w.parkCOWShell(img.Name, ctx)
+		if !be.cowShells.park(img.Name, ctx) {
+			w.release(ctx)
+		}
 	}
 	return res, nil
 }
 
 // runGuest drives the vCPU until halt or guest exit(), interposing on
 // every hypercall.
-func (w *Wasp) runGuest(ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm *guestMem, res *Result, clk *cycles.Clock) error {
+func (w *Wasp) runGuest(be *backend, ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm *guestMem, res *Result, clk *cycles.Clock) error {
 	for {
 		ex := ctx.Run(cfg.MaxSteps)
 		switch ex.Reason {
@@ -281,7 +302,7 @@ func (w *Wasp) runGuest(ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm *
 		case cpu.ExitFault:
 			return fmt.Errorf("wasp: virtine %s faulted: %w", img.Name, ex.Err)
 		case cpu.ExitIO:
-			done, err := w.serviceHypercall(ctx, img, cfg, gm, res, ex, clk)
+			done, err := w.serviceHypercall(be, ctx, img, cfg, gm, res, ex, clk)
 			if err != nil {
 				return err
 			}
@@ -297,7 +318,7 @@ func (w *Wasp) runGuest(ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm *
 // serviceHypercall is the interposition layer (§5.1): decode the call
 // from the vCPU registers, consult the client policy, dispatch to the
 // handler, write the result into RAX, and resume.
-func (w *Wasp) serviceHypercall(ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm *guestMem, res *Result, ex *cpu.Exit, clk *cycles.Clock) (done bool, err error) {
+func (w *Wasp) serviceHypercall(be *backend, ctx *vmm.Context, img *guest.Image, cfg *RunConfig, gm *guestMem, res *Result, ex *cpu.Exit, clk *cycles.Clock) (done bool, err error) {
 	clk.Advance(cycles.HypercallDispatch)
 	regs := &ctx.CPU.Regs
 	call := hypercall.Args{
@@ -319,7 +340,7 @@ func (w *Wasp) serviceHypercall(ctx *vmm.Context, img *guest.Image, cfg *RunConf
 		// footprint plus the stack, and the architectural state. The
 		// copy is charged — the paper's Fig 11 snapshot bars include
 		// the initial capture overhead.
-		w.capture(ctx, img, nil, false, clk)
+		w.capture(be, ctx, img, nil, false, clk)
 	}
 
 	ret, herr := cfg.Handler.Handle(call, gm)
@@ -337,10 +358,11 @@ func (w *Wasp) serviceHypercall(ctx *vmm.Context, img *guest.Image, cfg *RunConf
 	return false, nil
 }
 
-// capture stores a snapshot of the context for img. The memory captured
-// is the image footprint plus the stack region — what the paper's
-// memcpy-based reset copies (§6.2); cost scales with image size.
-func (w *Wasp) capture(ctx *vmm.Context, img *guest.Image, native any, booted bool, clk *cycles.Clock) {
+// capture stores a snapshot of the context for img in the backend's
+// registry. The memory captured is the image footprint plus the stack
+// region — what the paper's memcpy-based reset copies (§6.2); cost
+// scales with image size.
+func (w *Wasp) capture(be *backend, ctx *vmm.Context, img *guest.Image, native any, booted bool, clk *cycles.Clock) {
 	foot := img.Footprint() + img.ExtraHeap
 	if foot > len(ctx.Mem) {
 		foot = len(ctx.Mem)
@@ -358,7 +380,7 @@ func (w *Wasp) capture(ctx *vmm.Context, img *guest.Image, native any, booted bo
 	captured := foot + (len(ctx.Mem) - stackStart)
 	clk.Advance(cycles.MemcpyCost(captured))
 	ctx.ClearDirty()
-	w.putSnapshot(img.Name, &snapshot{
+	be.snapshots.put(img.Name, &snapshot{
 		mem:      mem,
 		captured: captured,
 		state:    ctx.CPU.Save(),

@@ -19,12 +19,23 @@
 //     cleaner core — never on the caller's path (see cleaner.go).
 //     Pools are bounded and self-sizing per size class: PoolPolicy caps
 //     each class, and scheduler queue-depth/service-time telemetry
-//     (ObserveLoad) prewarms shells under bursts and shrinks the warm
-//     set when a class goes idle (see pool.go).
+//     (ObserveLoad) prewarms shells under bursts and shrinks them when
+//     idle (see pool.go).
 //   - Snapshotting: a virtine may capture its state after initialization;
 //     subsequent executions of the same image restore the snapshot (one
 //     memcpy) and resume at the snapshot point, skipping boot and runtime
 //     init (Fig 7).
+//
+// One Wasp may span several hosted-hypervisor backends (Fig 5: KVM on
+// Linux, Hyper-V/WHP on Windows) via WithPlatforms. Mutable runtime
+// state — shell pools, snapshot and COW registries, the async cleaner —
+// is partitioned per backend: a shell created on KVM is never handed to
+// a Hyper-V run, and each backend's pools prewarm and shrink on their
+// own telemetry. Only the decoded-code registry is shared, because
+// decoded guest code depends on image content alone, not on the
+// hypervisor underneath. The placement layer (internal/placement) and
+// the scheduler's platform-affine workers decide which backend an
+// invocation lands on; RunOn is the per-backend entry point.
 package wasp
 
 import (
@@ -40,23 +51,35 @@ import (
 // Wasp is the hypervisor runtime. It is safe for concurrent use; each
 // Run advances its own caller-supplied clock, so concurrent runs model
 // independent cores. Mutable state is split into independently locked
-// pieces (see pool.go) so concurrent Runs on different images or size
-// classes never contend on a single runtime-wide lock.
+// pieces (see pool.go), partitioned per hypervisor backend, so
+// concurrent Runs on different images, size classes, or platforms never
+// contend on a single runtime-wide lock.
 type Wasp struct {
-	pools     shellPools
-	snapshots snapRegistry
-	cowShells cowRegistry
-	codes     codeRegistry
-	cleaner   *Cleaner // non-nil iff pooling && asyncClean
+	backends []*backend
+	byPlat   map[string]*backend
+	codes    codeRegistry // shared: decoded code is platform-independent
 
 	pooling      bool
 	asyncClean   bool
 	snapEnable   bool
 	cow          bool
 	legacyInterp bool
-	platform     vmm.Platform
+	platforms    []vmm.Platform
+	policy       PoolPolicy
 
 	poolDrops atomic.Uint64 // sync-clean shells dropped at the capacity bound
+}
+
+// backend is one hosted-hypervisor's slice of the runtime: its shell
+// pools, snapshot and COW registries, and (under Wasp+CA) its own
+// cleaner. Everything keyed by guest-memory content or VM state lives
+// here; a backend's shells and snapshots never serve another platform.
+type backend struct {
+	platform  vmm.Platform
+	pools     shellPools
+	snapshots snapRegistry
+	cowShells cowRegistry
+	cleaner   *Cleaner // non-nil iff pooling && asyncClean
 }
 
 type shell struct {
@@ -83,13 +106,16 @@ func WithPooling(on bool) Option { return func(w *Wasp) { w.pooling = on } }
 // background Cleaner (the Wasp+CA configuration of Fig 8): release
 // performs no zeroing at all, and dirty shells are scrubbed by the
 // cleaner's drain goroutine, idle scheduler workers, or the virtual
-// cleaner core.
+// cleaner core. With multiple platforms each backend gets its own
+// cleaner, so a dirty KVM shell is only ever scrubbed back into the KVM
+// pool.
 func WithAsyncClean(on bool) Option { return func(w *Wasp) { w.asyncClean = on } }
 
 // WithPoolPolicy bounds and self-sizes the shell pools; zero fields
 // take DefaultPoolPolicy values. Without this option the default policy
-// applies — pools are always capacity-bounded.
-func WithPoolPolicy(p PoolPolicy) Option { return func(w *Wasp) { w.pools.policy = p } }
+// applies — pools are always capacity-bounded. The policy applies to
+// every backend's pools independently.
+func WithPoolPolicy(p PoolPolicy) Option { return func(w *Wasp) { w.policy = p } }
 
 // WithSnapshotting enables the snapshot/restore fast path (§5.2). Images
 // still opt in per run via RunConfig.Snapshot.
@@ -97,7 +123,23 @@ func WithSnapshotting(on bool) Option { return func(w *Wasp) { w.snapEnable = on
 
 // WithPlatform selects the hypervisor backend (Fig 5): vmm.KVM{} on
 // Linux, vmm.HyperV{} on Windows. Default is KVM.
-func WithPlatform(p vmm.Platform) Option { return func(w *Wasp) { w.platform = p } }
+func WithPlatform(p vmm.Platform) Option {
+	return func(w *Wasp) { w.platforms = []vmm.Platform{p} }
+}
+
+// WithPlatforms gives one Wasp several hosted-hypervisor backends. The
+// first platform is the default (Run without a platform lands there);
+// RunOn and the scheduler's platform-affine workers address the others.
+// Shell pools, snapshot and COW registries, prewarming, ObserveLoad
+// sizing, and async cleaning are all partitioned per platform.
+// Duplicate platform names collapse to one backend.
+func WithPlatforms(ps ...vmm.Platform) Option {
+	return func(w *Wasp) {
+		if len(ps) > 0 {
+			w.platforms = append([]vmm.Platform(nil), ps...)
+		}
+	}
+}
 
 // WithLegacyInterp selects the original decode-every-instruction guest
 // interpreter instead of the predecoded block-execution engine, and
@@ -119,31 +161,85 @@ func New(opts ...Option) *Wasp {
 	w := &Wasp{
 		pooling:    true,
 		snapEnable: true,
-		platform:   vmm.KVM{},
+		platforms:  []vmm.Platform{vmm.KVM{}},
 	}
 	for _, o := range opts {
 		o(w)
 	}
-	w.pools.policy = w.pools.policy.withDefaults()
-	if w.pooling && w.asyncClean {
-		w.cleaner = newCleaner(w)
+	w.policy = w.policy.withDefaults()
+	w.byPlat = make(map[string]*backend, len(w.platforms))
+	for _, p := range w.platforms {
+		if _, dup := w.byPlat[p.Name()]; dup {
+			continue
+		}
+		be := &backend{platform: p}
+		be.pools.policy = w.policy
+		if w.pooling && w.asyncClean {
+			be.cleaner = newCleaner(&be.pools)
+		}
+		w.backends = append(w.backends, be)
+		w.byPlat[p.Name()] = be
 	}
 	return w
 }
 
-// acquire provisions a virtual context of the given memory size: a cached
-// shell when the pool has one (Fig 6 path D), a cold KVM context
-// otherwise (path C). Cleaning of a dirty shell is charged here, on the
-// critical path, unless async cleaning is on — pooled shells are always
-// already clean under Wasp+CA, and a pool miss with cleaning still in
-// flight is bridged by the cleaner (reclaim) instead of a cold create.
-func (w *Wasp) acquire(memBytes int, clk *cycles.Clock) *vmm.Context {
+// Platforms lists the runtime's backends; the first is the default.
+func (w *Wasp) Platforms() []vmm.Platform {
+	out := make([]vmm.Platform, len(w.backends))
+	for i, be := range w.backends {
+		out[i] = be.platform
+	}
+	return out
+}
+
+// HasPlatform reports whether the runtime owns a backend of that name.
+func (w *Wasp) HasPlatform(name string) bool {
+	_, ok := w.byPlat[name]
+	return ok
+}
+
+// backendFor resolves a platform name to its backend; "" means the
+// default (first) backend.
+func (w *Wasp) backendFor(platform string) (*backend, error) {
+	if platform == "" {
+		return w.backends[0], nil
+	}
+	be := w.byPlat[platform]
+	if be == nil {
+		return nil, fmt.Errorf("wasp: no %q backend (have %v)", platform, w.platformNames())
+	}
+	return be, nil
+}
+
+func (w *Wasp) platformNames() []string {
+	out := make([]string, len(w.backends))
+	for i, be := range w.backends {
+		out[i] = be.platform.Name()
+	}
+	return out
+}
+
+// acquire provisions a virtual context of the given memory size on one
+// backend: a cached shell when that backend's pool has one (Fig 6 path
+// D), a cold create on its platform otherwise (path C). Cleaning of a
+// dirty shell is charged here, on the critical path, unless async
+// cleaning is on — pooled shells are always already clean under
+// Wasp+CA, and a pool miss with cleaning still in flight is bridged by
+// the backend's cleaner (reclaim) instead of a cold create.
+func (w *Wasp) acquire(be *backend, memBytes int, clk *cycles.Clock) *vmm.Context {
 	if w.pooling {
-		s := w.pools.take(memBytes)
-		if s == nil && w.cleaner != nil {
-			s = w.cleaner.reclaim(memBytes)
+		s := be.pools.take(memBytes)
+		if s == nil && be.cleaner != nil {
+			s = be.cleaner.reclaim(memBytes)
 		}
 		if s != nil {
+			// Partition invariant: a pooled shell must belong to the
+			// backend that parked it. Release routes by the context's own
+			// platform, so a violation here means cross-platform state
+			// corruption — fail loudly rather than run on the wrong VMM.
+			if got := s.ctx.Platform().Name(); got != be.platform.Name() {
+				panic(fmt.Sprintf("wasp: %s shell crossed into the %s pool", got, be.platform.Name()))
+			}
 			clk.Advance(cycles.PoolAcquire)
 			s.ctx.Clock = clk
 			s.ctx.CPU.Clock = clk
@@ -154,94 +250,148 @@ func (w *Wasp) acquire(memBytes int, clk *cycles.Clock) *vmm.Context {
 			return s.ctx
 		}
 	}
-	return vmm.CreateOn(w.platform, memBytes, clk)
+	return vmm.CreateOn(be.platform, memBytes, clk)
 }
 
-// release returns a context to the pool. Under async cleaning (Wasp+CA)
-// no zeroing happens here: the dirty shell goes to the Cleaner's queue
-// and is scrubbed off the release path. Otherwise (Wasp+C) the shell is
-// parked dirty and pays for cleaning when next acquired. Either way the
-// size class's capacity bound holds; surplus shells are dropped for the
-// host to reclaim.
+// release returns a context to the pool of the backend it was created
+// on. Under async cleaning (Wasp+CA) no zeroing happens here: the dirty
+// shell goes to that backend's Cleaner queue and is scrubbed off the
+// release path. Otherwise (Wasp+C) the shell is parked dirty and pays
+// for cleaning when next acquired. Either way the size class's capacity
+// bound holds; surplus shells are dropped for the host to reclaim.
 func (w *Wasp) release(ctx *vmm.Context) {
 	if !w.pooling {
 		return // dropped; host kernel reclaims it
 	}
+	be := w.byPlat[ctx.Platform().Name()]
+	if be == nil {
+		return // foreign context (tests building raw vmm state): drop it
+	}
 	s := &shell{ctx: ctx, dirty: true}
-	if w.cleaner != nil {
-		w.cleaner.enqueue(len(ctx.Mem), s)
+	if be.cleaner != nil {
+		be.cleaner.enqueue(len(ctx.Mem), s)
 		return
 	}
-	if !w.pools.put(len(ctx.Mem), s) {
+	if !be.pools.put(len(ctx.Mem), s) {
 		w.poolDrops.Add(1)
 	}
 }
 
-// takeCOWShell claims the image-bound context, if one is parked.
-func (w *Wasp) takeCOWShell(name string) *vmm.Context {
-	return w.cowShells.take(name)
-}
-
-// parkCOWShell binds a context to its image for the next COW reset. If a
-// shell is already parked for the image, the context is recycled through
-// the ordinary pool instead.
-func (w *Wasp) parkCOWShell(name string, ctx *vmm.Context) {
-	if !w.cowShells.park(name, ctx) {
-		w.release(ctx)
-	}
-}
-
-// PoolSize reports the number of cached shells for a memory size.
+// PoolSize reports the number of cached shells for a memory size on the
+// default backend.
 func (w *Wasp) PoolSize(memBytes int) int {
-	return w.pools.size(memBytes)
+	return w.backends[0].pools.size(memBytes)
 }
 
-// PoolTotal reports the number of cached shells across all size classes.
+// PoolSizeOn reports the number of cached shells for a memory size on a
+// named backend (0 for an unknown platform).
+func (w *Wasp) PoolSizeOn(platform string, memBytes int) int {
+	be, err := w.backendFor(platform)
+	if err != nil {
+		return 0
+	}
+	return be.pools.size(memBytes)
+}
+
+// PoolTotal reports the number of cached shells across all size classes
+// and all backends.
 func (w *Wasp) PoolTotal() int {
-	return w.pools.total()
+	n := 0
+	for _, be := range w.backends {
+		n += be.pools.total()
+	}
+	return n
 }
 
-// PoolStatsFor snapshots one size class's pool state (cached count,
-// summed per-image warm target, smoothed service time).
+// PoolTotalOn reports the number of cached shells across one backend's
+// size classes.
+func (w *Wasp) PoolTotalOn(platform string) int {
+	be, err := w.backendFor(platform)
+	if err != nil {
+		return 0
+	}
+	return be.pools.total()
+}
+
+// PoolStatsFor snapshots one size class's pool state on the default
+// backend (cached count, summed per-image warm target, smoothed service
+// time).
 func (w *Wasp) PoolStatsFor(memBytes int) PoolStats {
-	return w.pools.stats(memBytes)
+	return w.backends[0].pools.stats(memBytes)
 }
 
 // PoolImageStats snapshots one image's sizing state within a size
-// class: Target and SvcEWMA are the image's own warm-target claim and
-// smoothed service time; Cached is the class's shared warm count.
+// class on the default backend: Target and SvcEWMA are the image's own
+// warm-target claim and smoothed service time; Cached is the class's
+// shared warm count.
 func (w *Wasp) PoolImageStats(memBytes int, image string) PoolStats {
-	return w.pools.imageStats(memBytes, image)
+	return w.backends[0].pools.imageStats(memBytes, image)
 }
 
 // PoolDropped reports shells dropped at the capacity bound on the
-// synchronous release path. Async-clean drops are reported by
-// Cleaner.Dropped.
+// synchronous release path (all backends). Async-clean drops are
+// reported by Cleaner.Dropped.
 func (w *Wasp) PoolDropped() uint64 { return w.poolDrops.Load() }
 
-// Cleaner exposes the background cleaner, or nil when cleaning is
-// synchronous (Wasp+C) or pooling is off.
-func (w *Wasp) Cleaner() *Cleaner { return w.cleaner }
+// Cleaner exposes the default backend's background cleaner, or nil when
+// cleaning is synchronous (Wasp+C) or pooling is off.
+func (w *Wasp) Cleaner() *Cleaner { return w.backends[0].cleaner }
+
+// CleanerOn exposes a named backend's cleaner (nil when cleaning is
+// synchronous or the platform is unknown).
+func (w *Wasp) CleanerOn(platform string) *Cleaner {
+	be, err := w.backendFor(platform)
+	if err != nil {
+		return nil
+	}
+	return be.cleaner
+}
+
+// Cleaners lists every backend's cleaner, in backend order; empty when
+// cleaning is synchronous. The scheduler drains all of them.
+func (w *Wasp) Cleaners() []*Cleaner {
+	var out []*Cleaner
+	for _, be := range w.backends {
+		if be.cleaner != nil {
+			out = append(out, be.cleaner)
+		}
+	}
+	return out
+}
 
 // AsyncClean reports whether the runtime cleans shells asynchronously.
-func (w *Wasp) AsyncClean() bool { return w.cleaner != nil }
+func (w *Wasp) AsyncClean() bool { return w.backends[0].cleaner != nil }
 
-// Prewarm tops a size class up to n cached clean shells (clamped to
-// the class's capacity) ahead of demand; classes already at or above n
-// are left alone. Creation cost lands on a private clock: prewarming is
-// provisioning work off any measured request path. It reports how many
-// shells were added.
+// Prewarm tops a size class up to n cached clean shells on the default
+// backend; see PrewarmOn.
 func (w *Wasp) Prewarm(memBytes, n int) int {
+	return w.prewarm(w.backends[0], memBytes, n)
+}
+
+// PrewarmOn tops a size class up to n cached clean shells (clamped to
+// the class's capacity) on one backend ahead of demand; classes already
+// at or above n are left alone. Creation cost lands on a private clock:
+// prewarming is provisioning work off any measured request path. It
+// reports how many shells were added (0 for an unknown platform).
+func (w *Wasp) PrewarmOn(platform string, memBytes, n int) int {
+	be, err := w.backendFor(platform)
+	if err != nil {
+		return 0
+	}
+	return w.prewarm(be, memBytes, n)
+}
+
+func (w *Wasp) prewarm(be *backend, memBytes, n int) int {
 	if !w.pooling {
 		return 0
 	}
-	if max := w.pools.policy.MaxPerClass; n > max {
+	if max := be.pools.policy.MaxPerClass; n > max {
 		n = max
 	}
 	added := 0
-	for w.pools.size(memBytes) < n {
-		ctx := vmm.CreateOn(w.platform, memBytes, cycles.NewClock())
-		if !w.pools.put(memBytes, &shell{ctx: ctx}) {
+	for be.pools.size(memBytes) < n {
+		ctx := vmm.CreateOn(be.platform, memBytes, cycles.NewClock())
+		if !be.pools.put(memBytes, &shell{ctx: ctx}) {
 			break
 		}
 		added++
@@ -249,39 +399,69 @@ func (w *Wasp) Prewarm(memBytes, n int) int {
 	return added
 }
 
-// ObserveLoad feeds scheduler telemetry for one completed run into the
-// pool-sizing policy, attributed to the image that ran: a deep queue at
-// submit raises the image's warm-target claim on its size class and
-// prewarms shells; a sustained idle streak of that image decays only
-// its own claim and releases a surplus cached shell to the host
-// (handled inside observe, under the shard lock), so a multi-tenant
-// class keeps warm shells for tenants that are still active. The
-// unified scheduler calls this once per completed image ticket.
+// ObserveLoad feeds scheduler telemetry for one completed run on the
+// default backend into the pool-sizing policy; see ObserveLoadOn.
 func (w *Wasp) ObserveLoad(image string, memBytes, depth int, svcCycles uint64) {
+	w.observeLoad(w.backends[0], image, memBytes, depth, svcCycles)
+}
+
+// ObserveLoadOn feeds scheduler telemetry for one completed run into
+// the named backend's pool-sizing policy, attributed to the image that
+// ran: a deep queue at submit raises the image's warm-target claim on
+// its size class and prewarms shells; a sustained idle streak of that
+// image decays only its own claim and releases a surplus cached shell
+// to the host (handled inside observe, under the shard lock), so a
+// multi-tenant class keeps warm shells for tenants that are still
+// active. The unified scheduler calls this once per completed image
+// ticket, on the platform whose worker served it.
+func (w *Wasp) ObserveLoadOn(platform, image string, memBytes, depth int, svcCycles uint64) {
+	be, err := w.backendFor(platform)
+	if err != nil {
+		return
+	}
+	w.observeLoad(be, image, memBytes, depth, svcCycles)
+}
+
+func (w *Wasp) observeLoad(be *backend, image string, memBytes, depth int, svcCycles uint64) {
 	if !w.pooling {
 		return
 	}
-	if wantCached := w.pools.observe(image, memBytes, depth, svcCycles); wantCached > 0 {
-		w.Prewarm(memBytes, wantCached)
+	if wantCached := be.pools.observe(image, memBytes, depth, svcCycles); wantCached > 0 {
+		w.prewarm(be, memBytes, wantCached)
 	}
 }
 
-// HasSnapshot reports whether an image has a stored snapshot.
+// HasSnapshot reports whether an image has a stored snapshot on the
+// default backend.
 func (w *Wasp) HasSnapshot(name string) bool {
-	return w.snapshots.has(name)
+	return w.backends[0].snapshots.has(name)
 }
 
-// DropSnapshot removes a stored snapshot (tests and ablations).
+// HasSnapshotOn reports whether an image has a stored snapshot on a
+// named backend. Snapshots are captured per backend: the first run of
+// an image on each platform pays its own capture.
+func (w *Wasp) HasSnapshotOn(platform, name string) bool {
+	be, err := w.backendFor(platform)
+	if err != nil {
+		return false
+	}
+	return be.snapshots.has(name)
+}
+
+// DropSnapshot removes a stored snapshot from every backend (tests and
+// ablations).
 func (w *Wasp) DropSnapshot(name string) {
-	w.snapshots.drop(name)
+	for _, be := range w.backends {
+		be.snapshots.drop(name)
+	}
 }
 
-func (w *Wasp) getSnapshot(name string) *snapshot {
-	return w.snapshots.get(name)
-}
-
-func (w *Wasp) putSnapshot(name string, s *snapshot) {
-	w.snapshots.put(name, s)
+// CodeCacheStats reports the shared decoded-code registry's state:
+// distinct content entries and lifetime merge (decode-harvest) count.
+// Tenant clones of one binary share a content key, so running a renamed
+// image against warm content leaves both counters unchanged.
+func (w *Wasp) CodeCacheStats() (entries int, merges uint64) {
+	return w.codes.stats()
 }
 
 // guestMem is the bounds-checked GuestMem window handlers receive. Bulk
@@ -327,35 +507,46 @@ func (g *guestMem) WriteGuest(addr uint64, b []byte) error {
 	return nil
 }
 
-// codeRegistry keeps one frozen decoded-code cache per image, so every
-// run of an image after the first adopts predecoded pages instead of
-// re-decoding the boot stub and workload: decode once per image, not once
-// per run. Pages are immutable once registered; AdoptCode verifies page
-// content against guest memory before installing, so a registry entry can
-// never supply a stale decode regardless of how the memory was populated
-// (cold load, snapshot restore, or COW reset).
+// codeRegistry keeps one frozen decoded-code cache per image *content*,
+// so every run of a binary after the first adopts predecoded pages
+// instead of re-decoding the boot stub and workload: decode once per
+// content, not once per run — and not once per name either. Tenant
+// clones made with guest.Image.WithName hash to the same content key
+// and share one entry. Pages are immutable once registered; AdoptCode
+// verifies page content against guest memory before installing, so a
+// registry entry can never supply a stale decode regardless of how the
+// memory was populated (cold load, snapshot restore, COW reset) or of a
+// content-key collision.
 type codeRegistry struct {
-	mu    sync.RWMutex
-	byImg map[string]cpu.CodeCache
+	mu     sync.RWMutex
+	byKey  map[string]cpu.CodeCache
+	merges uint64
 }
 
-func (r *codeRegistry) get(name string) cpu.CodeCache {
+func (r *codeRegistry) get(key string) cpu.CodeCache {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.byImg[name]
+	return r.byKey[key]
 }
 
-// merge folds newly decoded pages into the image's entry, keeping
-// already-registered pages (they were decoded from the image's canonical
+// merge folds newly decoded pages into the content's entry, keeping
+// already-registered pages (they were decoded from the same canonical
 // content).
-func (r *codeRegistry) merge(name string, cc cpu.CodeCache) {
+func (r *codeRegistry) merge(key string, cc cpu.CodeCache) {
 	if cc.Empty() {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.byImg == nil {
-		r.byImg = make(map[string]cpu.CodeCache)
+	if r.byKey == nil {
+		r.byKey = make(map[string]cpu.CodeCache)
 	}
-	r.byImg[name] = r.byImg[name].Merge(cc)
+	r.byKey[key] = r.byKey[key].Merge(cc)
+	r.merges++
+}
+
+func (r *codeRegistry) stats() (entries int, merges uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byKey), r.merges
 }

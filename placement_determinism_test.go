@@ -1,0 +1,139 @@
+// Placement determinism: virtual-mode multi-backend scheduling must be
+// fully reproducible — same trace, fleet, and policy give bit-identical
+// per-ticket cycle counts, worker/platform assignments, and makespans —
+// and, like every other subsystem, identical virtual results under the
+// cached and legacy interpreters.
+package virtines_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/serverless"
+	"repro/internal/vmm"
+	"repro/internal/wasp"
+)
+
+// placementPolicies are the three shipped policies, exercised on a 2+2
+// KVM/Hyper-V split fleet.
+func placementPolicies() map[string]placement.Placer {
+	return map[string]placement.Placer{
+		"static": placement.Static{Pins: map[string]string{
+			serverless.PlacementShortImage().Name: "kvm",
+			serverless.PlacementLongImage().Name:  "hyper-v",
+		}},
+		"least-loaded": placement.LeastLoaded{},
+		"cost-model":   placement.CostModel{},
+	}
+}
+
+// ticketKey is the comparable projection of one placed ticket.
+type ticketKey struct {
+	Worker      int
+	Platform    string
+	Start, Done uint64
+	Cycles      uint64
+	Image       string
+}
+
+// runPlacementOnce drives the mixed trace through a fresh split-fleet
+// scheduler and projects every ticket.
+func runPlacementOnce(t *testing.T, pl placement.Placer, legacy bool) ([]ticketKey, uint64) {
+	t.Helper()
+	opts := []wasp.Option{wasp.WithPlatforms(vmm.KVM{}, vmm.HyperV{})}
+	if legacy {
+		opts = append(opts, wasp.WithLegacyInterp(true))
+	}
+	w := wasp.New(opts...)
+	s := sched.NewVirtual(w, 4,
+		sched.WithWorkerPlatforms(vmm.KVM{}, vmm.HyperV{}),
+		sched.WithPlacer(pl))
+	defer s.Close()
+	tickets := s.SubmitBatchAt(serverless.PlacementTrace(48, 8))
+	out := make([]ticketKey, len(tickets))
+	for i, tk := range tickets {
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+		out[i] = ticketKey{
+			Worker: tk.Worker, Platform: tk.Platform,
+			Start: tk.Start, Done: tk.Done,
+			Cycles: res.Cycles, Image: tk.Image,
+		}
+	}
+	return out, s.Makespan()
+}
+
+// Same seed trace, same policy, fresh runtimes: bit-identical Cycles,
+// Makespan, and per-worker assignment, twice over.
+func TestPlacementPoliciesDeterministic(t *testing.T) {
+	for name, pl := range placementPolicies() {
+		a, ma := runPlacementOnce(t, pl, false)
+		b, mb := runPlacementOnce(t, pl, false)
+		if ma != mb {
+			t.Fatalf("%s: makespan diverged across runs: %d vs %d", name, ma, mb)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: ticket %d diverged:\n run1: %+v\n run2: %+v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// The full RunPlacementMix reports — latencies, per-backend slices,
+// Jain — must also reproduce exactly.
+func TestPlacementReportDeterministic(t *testing.T) {
+	for name, pl := range placementPolicies() {
+		run := func() *serverless.PlacementReport {
+			w := wasp.New(wasp.WithPlatforms(vmm.KVM{}, vmm.HyperV{}))
+			rep, err := serverless.RunPlacementMix(w, name,
+				[]vmm.Platform{vmm.KVM{}, vmm.HyperV{}, vmm.KVM{}, vmm.HyperV{}}, pl, 60, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+		if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: placement report diverged:\n run1: %+v\n run2: %+v", name, a, b)
+		}
+	}
+}
+
+// The cached and legacy interpreters must agree on every placed
+// ticket's virtual outcome — the placement layer inherits the
+// differential guarantee of the rest of the stack.
+func TestPlacementDifferentialLegacyInterp(t *testing.T) {
+	for name, pl := range placementPolicies() {
+		fast, mf := runPlacementOnce(t, pl, false)
+		slow, ms := runPlacementOnce(t, pl, true)
+		if mf != ms {
+			t.Fatalf("%s: makespan divergence: cached %d, legacy %d", name, mf, ms)
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("%s: ticket %d divergence:\n cached: %+v\n legacy: %+v", name, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+// Static pinning is an invariant, not a preference: every short ran on
+// KVM, every long on Hyper-V, across the whole trace.
+func TestPlacementStaticPinInvariant(t *testing.T) {
+	keys, _ := runPlacementOnce(t, placementPolicies()["static"], false)
+	shortName := serverless.PlacementShortImage().Name
+	for i, k := range keys {
+		want := "hyper-v"
+		if k.Image == shortName {
+			want = "kvm"
+		}
+		if k.Platform != want {
+			t.Fatalf("ticket %d (%s) ran on %s, pinned to %s", i, k.Image, k.Platform, want)
+		}
+	}
+}
+
