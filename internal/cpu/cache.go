@@ -35,6 +35,8 @@ package cpu
 
 import (
 	"bytes"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cycles"
 	"repro/internal/isa"
@@ -59,7 +61,10 @@ type centry struct {
 	imm  uint64
 }
 
-const fSpecial = 1
+const (
+	fSpecial = 1
+	fFused   = 2
+)
 
 // specialOp marks opcodes the fast loop delegates to the legacy Step
 // path: everything that can switch modes, flush the TLB, record a boot
@@ -68,6 +73,87 @@ const fSpecial = 1
 var specialOp = [isa.NumOps]bool{
 	isa.HLT: true, isa.OUT: true, isa.IN: true, isa.LGDT: true,
 	isa.MOVCR: true, isa.RDCR: true, isa.LJMP: true,
+}
+
+// Superinstruction opcodes, in the isa.Op space above isa.NumOps. The
+// decode pass fuses the hottest adjacent pairs the fib/AES/JS corpora
+// execute (see the opcode-pair histogram in `virtine-bench -exp interp`)
+// into a single cache entry: one dispatch retires both instructions with
+// their combined cycle cost. Only pairs whose first instruction cannot
+// observe the clock mid-pair are fused, and STORE never is (it carries
+// the Mode32 ident-map latch).
+const (
+	fopCmpJcc   isa.Op = isa.NumOps + iota // cmp a, b ; jcc t
+	fopCmpiJcc                             // cmpi a, imm ; jcc t  (imm32|t32 packed)
+	fopDecJnz                              // dec a ; jnz t
+	fopIncJnz                              // inc a ; jnz t
+	fopPushCall                            // push a ; call t
+	fopSubiCall                            // subi a, imm ; call t (packed)
+	fopPushSubi                            // push a ; subi b, imm
+	fopPopPush                             // pop a ; push b
+	fopAddRet                              // add a, b ; ret
+	fopMoviCall                            // movi a, imm ; call t (packed)
+)
+
+func isJcc(op isa.Op) bool { return op >= isa.JZ && op <= isa.JAE }
+
+// packable32 reports whether a decode-time immediate survives the round
+// trip through 32 bits (it was sign-extended to 64 at decode).
+func packable32(v uint64) bool { return uint64(int64(int32(uint32(v)))) == v }
+
+// packTarget32 reports whether a branch/call target can live in 32 bits.
+// In 16/32-bit modes the executing mask re-truncates, so the low half is
+// always enough; in long mode the target must genuinely fit.
+func packTarget32(v uint64, m isa.Mode) bool { return m != isa.Mode64 || v>>32 == 0 }
+
+// fusePair builds the superinstruction entry replacing a when b directly
+// follows it, or reports that the pair does not fuse. Specials (and
+// already-fused entries) never participate; pairs with packed immediates
+// fuse only when both values fit their 32-bit halves.
+func fusePair(a, b centry) (centry, bool) {
+	if a.flag != 0 || b.flag != 0 {
+		return centry{}, false
+	}
+	f := centry{
+		mode: a.mode, n: a.n + b.n, cost: a.cost + b.cost, flag: fFused,
+	}
+	switch {
+	case a.op == isa.CMP && isJcc(b.op):
+		f.op, f.dst, f.src, f.sub, f.imm = fopCmpJcc, a.dst, a.src, byte(b.op), b.imm
+	case a.op == isa.CMPI && isJcc(b.op):
+		if !packable32(a.imm) || !packTarget32(b.imm, a.mode) {
+			return centry{}, false
+		}
+		f.op, f.dst, f.sub = fopCmpiJcc, a.dst, byte(b.op)
+		f.imm = uint64(uint32(a.imm)) | uint64(uint32(b.imm))<<32
+	case a.op == isa.DEC && b.op == isa.JNZ:
+		f.op, f.dst, f.imm = fopDecJnz, a.dst, b.imm
+	case a.op == isa.INC && b.op == isa.JNZ:
+		f.op, f.dst, f.imm = fopIncJnz, a.dst, b.imm
+	case a.op == isa.PUSH && b.op == isa.CALL:
+		f.op, f.dst, f.sub, f.imm = fopPushCall, a.dst, a.n, b.imm
+	case a.op == isa.SUBI && b.op == isa.CALL:
+		if !packable32(a.imm) || !packTarget32(b.imm, a.mode) {
+			return centry{}, false
+		}
+		f.op, f.dst, f.sub = fopSubiCall, a.dst, a.n
+		f.imm = uint64(uint32(a.imm)) | uint64(uint32(b.imm))<<32
+	case a.op == isa.PUSH && b.op == isa.SUBI:
+		f.op, f.dst, f.src, f.imm = fopPushSubi, a.dst, b.dst, b.imm
+	case a.op == isa.POP && b.op == isa.PUSH:
+		f.op, f.dst, f.src, f.sub = fopPopPush, a.dst, b.dst, a.n
+	case a.op == isa.ADD && b.op == isa.RET:
+		f.op, f.dst, f.src, f.sub = fopAddRet, a.dst, a.src, a.n
+	case a.op == isa.MOVI && b.op == isa.CALL:
+		if !packable32(a.imm) || !packTarget32(b.imm, a.mode) {
+			return centry{}, false
+		}
+		f.op, f.dst, f.sub = fopMoviCall, a.dst, a.n
+		f.imm = uint64(uint32(a.imm)) | uint64(uint32(b.imm))<<32
+	default:
+		return centry{}, false
+	}
+	return f, true
 }
 
 // baseCost returns the fixed cycle cost charged before/while executing op
@@ -109,6 +195,35 @@ type codePage struct {
 	// memory so a stale decode can never be installed.
 	src  []byte
 	ents [codePageSize]centry
+
+	// blocks maps (offset | mode<<12) to the compiled closure block
+	// starting there (jit.go). The map value is immutable; publication
+	// is copy-on-write under mu so concurrent CPUs sharing a frozen page
+	// read it with one atomic load. Blocks ride along with ShareCode /
+	// AdoptCode, so every tenant clone of an image executes one compiled
+	// form; validity is anchored to the page pointer itself — any write
+	// into the page drops the page, blocks and all.
+	mu     sync.Mutex
+	blocks atomic.Pointer[map[uint32]*cblock]
+}
+
+// addBlock publishes a compiled block on the page. The current map is
+// never mutated: readers hold no lock.
+func (pg *codePage) addBlock(key uint32, blk *cblock) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	old := pg.blocks.Load()
+	var nm map[uint32]*cblock
+	if old == nil {
+		nm = make(map[uint32]*cblock, 4)
+	} else {
+		nm = make(map[uint32]*cblock, len(*old)+1)
+		for k, v := range *old {
+			nm[k] = v
+		}
+	}
+	nm[key] = blk
+	pg.blocks.Store(&nm)
 }
 
 // ensureCode sizes the per-page table on first use.
@@ -129,6 +244,11 @@ func (c *CPU) codePageFor(page uint64) *codePage {
 		c.code[page] = pg
 	} else if pg.shared {
 		cl := &codePage{ents: pg.ents}
+		// Compiled blocks stay valid across the clone: cloning happens
+		// only to write entries for offsets/modes the shared page lacks,
+		// never because the underlying bytes changed (a byte change
+		// drops the page instead).
+		cl.blocks.Store(pg.blocks.Load())
 		c.code[page] = cl
 		pg = cl
 	}
@@ -153,7 +273,10 @@ func (c *CPU) InvalidateCode(addr uint64, n int) {
 	first := addr / codePageSize
 	last := (addr + uint64(n) - 1) / codePageSize
 	for p := first; p <= last && p < uint64(len(c.code)); p++ {
-		c.code[p] = nil
+		if c.code[p] != nil {
+			c.code[p] = nil
+			c.codeClobbered = true
+		}
 	}
 }
 
@@ -164,11 +287,13 @@ func (c *CPU) invalidateCodeOne(addr uint64, n int) {
 		return
 	}
 	first := addr / codePageSize
-	if first < uint64(len(c.code)) {
+	if first < uint64(len(c.code)) && c.code[first] != nil {
 		c.code[first] = nil
+		c.codeClobbered = true
 	}
-	if last := (addr + uint64(n) - 1) / codePageSize; last != first && last < uint64(len(c.code)) {
+	if last := (addr + uint64(n) - 1) / codePageSize; last != first && last < uint64(len(c.code)) && c.code[last] != nil {
 		c.code[last] = nil
+		c.codeClobbered = true
 	}
 }
 
@@ -195,6 +320,8 @@ func (c *CPU) predecode(phys uint64) (centry, error) {
 	// an uncacheable (page-spanning) instruction clones no shared page
 	// and leaves the new-pages flag alone
 	var ret centry
+	var prevSlot *centry // previous slot in this pass, for pair fusion
+	var prevOrig centry  // its original (unfused) entry
 	first := true
 	for p := phys; p < pageEnd; {
 		in, err := isa.Decode(c.Mem, p, mode)
@@ -219,6 +346,16 @@ func (c *CPU) predecode(phys uint64) (centry, error) {
 			break // rejoined an already-decoded run
 		}
 		*slot = e
+		// Superinstruction pass: rewrite the previous entry into a fused
+		// pair head. The current entry keeps its own slot, so jumps into
+		// the pair's second half still hit a plain decode.
+		if prevSlot != nil {
+			if f, ok := fusePair(prevOrig, e); ok {
+				*prevSlot = f
+				c.Stats.Fused++
+			}
+		}
+		prevSlot, prevOrig = slot, e
 		if first {
 			ret = e
 			first = false

@@ -138,9 +138,28 @@ type CPU struct {
 	// be bit-identical.
 	Legacy bool
 
+	// NoJIT disables the compiled-closure block tier (jit.go): the
+	// engine still executes fused predecoded entries one dispatch at a
+	// time. Ablation/bench knob; virtual cycles are identical either way.
+	NoJIT bool
+
 	// OnStore, when set, observes every guest store (physical address,
 	// length) — the VMM's dirty-page tracker for copy-on-write resets.
+	// The cached engine batches stores into a span log and reports them
+	// at observation points (run exit, fault, delegated special); the
+	// legacy engine reports every store immediately.
 	OnStore func(paddr uint64, n int)
+
+	// Stats counts decode-cache fusion and compiled-block activity.
+	// Reset zeroes it alongside Retired; Wasp harvests per-run deltas.
+	Stats JITStats
+
+	// PairProf, when non-nil, accumulates retired opcode-pair
+	// frequencies keyed prev<<8|cur. It is wired into the legacy Step
+	// engine only: profiling observes the natural instruction stream,
+	// before any superinstruction fusion.
+	PairProf map[uint16]uint64
+	prevOp   uint16 // last retired opcode + 1; 0 = none yet
 
 	tlb        map[uint64]uint64 // 2MB page: vaddr>>21 → physical base
 	gdtLoads   int
@@ -151,6 +170,43 @@ type CPU struct {
 	// codeNew marks decode state not yet published by ShareCode.
 	code    []*codePage
 	codeNew bool
+
+	// codeClobbered is set whenever an invalidation actually unhooks a
+	// decoded page. The trace executor's per-store self-modification
+	// check tests this hint first: stores to data pages (which have no
+	// decode state) never set it, so the precise page-identity check
+	// runs only when some decoded page really was hit.
+	codeClobbered bool
+
+	// lateFault attribution: a fused pair closure (jit.go) that faults
+	// half-way records here which half completed — extra cost to roll
+	// back when the unexecuted second half was pre-batched (lateRoll),
+	// extra instructions retired when the first half committed (lateRet)
+	// and the mid-pair IP the fault belongs to (lateMid). blockStop
+	// consumes and clears the record on the fault path only.
+	lateSet  bool
+	lateRoll uint8
+	lateRet  uint8
+	lateMid  int32
+
+	// Dirty-span log: guest stores inside the cached engine are
+	// coalesced here and reported to OnStore only at observation points,
+	// mirroring the pending cycle batch. batchDirty is true only while
+	// the cached engine runs.
+	spans      [64]dirtySpan
+	nspans     int
+	batchDirty bool
+
+	// blockEntry is the virtual IP of the compiled trace currently
+	// executing; CALL/RET closures rebuild absolute return addresses
+	// from it plus a compile-time relative offset.
+	blockEntry uint64
+
+	// Direct-mapped front cache for compiled-block lookup (jit.go): one
+	// probe instead of an atomic load plus map lookup per block entry.
+	// Entries self-invalidate: a hit requires the recorded page to still
+	// be installed at the recorded index.
+	bcache [bcacheSize]bcent
 
 	// Hot-path translation caches in front of the tlb map. Both are
 	// strict subsets of state the architectural paths already hold, so
@@ -185,13 +241,15 @@ func New(mem []byte, clk *cycles.Clock, entry uint64) *CPU {
 // separately.
 func (c *CPU) Reset(entry uint64) {
 	*c = CPU{
-		Mem:     c.Mem,
-		Clock:   c.Clock,
-		OnStore: c.OnStore,
-		Legacy:  c.Legacy,
-		IP:      entry,
-		Mode:    isa.Mode16,
-		tlb:     make(map[uint64]uint64),
+		Mem:      c.Mem,
+		Clock:    c.Clock,
+		OnStore:  c.OnStore,
+		Legacy:   c.Legacy,
+		NoJIT:    c.NoJIT,
+		PairProf: c.PairProf,
+		IP:       entry,
+		Mode:     isa.Mode16,
+		tlb:      make(map[uint64]uint64),
 	}
 	c.Regs[isa.RSP] = uint64(len(c.Mem))
 }
@@ -229,6 +287,32 @@ func (c *CPU) Restore(s State) {
 	c.gdtLoads = s.GDTLoads
 	c.Halted = false
 	c.FlushTLB()
+}
+
+// JITStats counts decode-cache and compiled-block activity. Fused is the
+// number of superinstruction entries created at predecode; BlocksCompiled,
+// BlockHits and BlockDeopts track the compiled-closure tier.
+type JITStats struct {
+	Fused          uint64
+	BlocksCompiled uint64
+	BlockHits      uint64
+	BlockDeopts    uint64
+}
+
+// dirtySpan is one coalesced run of stored guest-physical bytes awaiting
+// the OnStore hook.
+type dirtySpan struct {
+	addr uint64
+	n    int
+}
+
+// profPair records one retired instruction into the opcode-pair
+// histogram. Callers guard on PairProf != nil.
+func (c *CPU) profPair(op isa.Op) {
+	if c.prevOp != 0 {
+		c.PairProf[uint16(c.prevOp-1)<<8|uint16(op)]++
+	}
+	c.prevOp = uint16(op) + 1
 }
 
 func (c *CPU) fault(format string, args ...any) *Exit {

@@ -94,6 +94,9 @@ func (c *CPU) Step() *Exit {
 
 	case isa.HLT:
 		c.Halted = true
+		if c.PairProf != nil {
+			c.profPair(in.Op)
+		}
 		c.Retired++
 		c.IP = next
 		return &Exit{Reason: ExitHalt}
@@ -138,9 +141,7 @@ func (c *CPU) Step() *Exit {
 		c.Clock.Advance(cycles.MemStore)
 		c.Mem[p] = byte(c.get(in.Src))
 		c.invalidateCodeOne(p, 1)
-		if c.OnStore != nil {
-			c.OnStore(p, 1)
-		}
+		c.noteStore(p, 1)
 
 	case isa.ADD:
 		a, b := c.get(in.Dst), c.get(in.Src)
@@ -313,10 +314,16 @@ func (c *CPU) Step() *Exit {
 		c.set(in.Dst, v)
 
 	case isa.OUT:
+		if c.PairProf != nil {
+			c.profPair(in.Op)
+		}
 		c.Retired++
 		c.IP = next
 		return &Exit{Reason: ExitIO, Port: uint8(in.Imm), Reg: in.Dst}
 	case isa.IN:
+		if c.PairProf != nil {
+			c.profPair(in.Op)
+		}
 		c.Retired++
 		c.IP = next
 		return &Exit{Reason: ExitIO, Port: uint8(in.Imm), Reg: in.Dst, In: true}
@@ -427,6 +434,9 @@ func (c *CPU) Step() *Exit {
 		return c.fault("unimplemented opcode %v", in.Op)
 	}
 
+	if c.PairProf != nil {
+		c.profPair(in.Op)
+	}
 	c.Retired++
 	c.IP = next
 	return nil
@@ -489,7 +499,23 @@ func (c *CPU) setFetchWindow(ip, phys uint64) {
 // that can switch modes, flush translations, record a boot milestone, or
 // exit — are delegated to the legacy Step path after flushing the pending
 // cycle batch, so the tricky architectural transitions exist exactly once.
+//
+// While this engine runs, guest stores are batched into the dirty-span log
+// (noteStore) instead of firing the OnStore hook per store; the log is
+// flushed on every return path, before any caller can observe the dirty
+// bitmap.
 func (c *CPU) runCached(maxSteps uint64) *Exit {
+	if c.OnStore != nil {
+		c.batchDirty = true
+		defer func() {
+			c.batchDirty = false
+			c.flushDirty()
+		}()
+	}
+	return c.runCachedInner(maxSteps)
+}
+
+func (c *CPU) runCachedInner(maxSteps uint64) *Exit {
 	var pending uint64 // batched fixed costs not yet on the clock
 	flush := func() {
 		if pending != 0 {
@@ -501,7 +527,7 @@ func (c *CPU) runCached(maxSteps uint64) *Exit {
 	// changes (which only delegated special instructions can do).
 	curMode := isa.Mode(0xFF)
 	var w, mask uint64
-	for steps := uint64(0); steps < maxSteps; steps++ {
+	for steps := uint64(0); steps < maxSteps; {
 		if c.Halted {
 			flush()
 			return &Exit{Reason: ExitHalt}
@@ -515,6 +541,7 @@ func (c *CPU) runCached(maxSteps uint64) *Exit {
 			if ex := c.Step(); ex != nil {
 				return ex
 			}
+			steps++
 			continue
 		}
 		if c.pendFirst {
@@ -526,6 +553,7 @@ func (c *CPU) runCached(maxSteps uint64) *Exit {
 				return ex
 			}
 			c.fetchOK = false
+			steps++
 			continue
 		}
 		ip := c.IP
@@ -544,16 +572,23 @@ func (c *CPU) runCached(maxSteps uint64) *Exit {
 
 		var e centry
 		page := phys / codePageSize
-		if pg := c.codeAt(page); pg != nil {
+		pg := c.codeAt(page)
+		if pg != nil {
 			e = pg.ents[phys-page*codePageSize]
 		}
 		if e.n == 0 || e.mode != c.Mode {
+			// First execution at this offset: predecode and run the
+			// returned entry through the single-dispatch path below. A
+			// compiled block is only built on a later, cached hit, so
+			// code executed once (boot stubs, error paths) never pays
+			// compilation.
 			var derr error
 			e, derr = c.predecode(phys)
 			if derr != nil {
 				flush()
 				return &Exit{Reason: ExitFault, Err: derr}
 			}
+			pg = nil
 		}
 
 		if e.flag&fSpecial != 0 ||
@@ -567,6 +602,51 @@ func (c *CPU) runCached(maxSteps uint64) *Exit {
 			if ex != nil {
 				return ex
 			}
+			steps++
+			continue
+		}
+
+		if pg != nil && !c.NoJIT {
+			if blk := c.blockAt(pg, page, uint32(phys-page*codePageSize), ip); blk != nil &&
+				uint64(blk.nret) <= maxSteps-steps {
+				// execChain runs the trace and keeps chaining into
+				// cached successors; it returns only when the dispatch
+				// loop must re-examine state from scratch.
+				nr, ex := c.execChain(blk, ip, page, pg, &pending, maxSteps-steps)
+				steps += nr
+				if ex != nil {
+					flush()
+					return ex
+				}
+				continue
+			}
+		}
+
+		if e.flag&fFused != 0 {
+			if maxSteps-steps < 2 {
+				// Not enough budget for both halves: the legacy path
+				// decodes the raw bytes and executes just the first
+				// instruction of the pair, keeping the budget fault on
+				// exactly the same instruction as the legacy engine.
+				flush()
+				ex := c.Step()
+				c.fetchOK = false
+				if ex != nil {
+					return ex
+				}
+				steps++
+				continue
+			}
+			if c.Mode != curMode {
+				curMode = c.Mode
+				w = uint64(curMode.Width())
+				mask = widthMask(curMode)
+			}
+			if ex := c.execFused(e, ip, w, mask, &pending); ex != nil {
+				flush()
+				return ex
+			}
+			steps += 2
 			continue
 		}
 
@@ -624,9 +704,7 @@ func (c *CPU) runCached(maxSteps uint64) *Exit {
 			c.Clock.Advance(cycles.MemStore)
 			c.Mem[p] = byte(c.get(e.src))
 			c.invalidateCodeOne(p, 1)
-			if c.OnStore != nil {
-				c.OnStore(p, 1)
-			}
+			c.noteStore(p, 1)
 
 		case isa.ADD:
 			a, b := c.get(e.dst), c.get(e.src)
@@ -808,9 +886,187 @@ func (c *CPU) runCached(maxSteps uint64) *Exit {
 
 		c.Retired++
 		c.IP = next
+		steps++
 	}
 	flush()
 	return c.fault("instruction budget (%d) exhausted at ip=%#x", maxSteps, c.IP)
+}
+
+// sext32 re-extends a packed 32-bit immediate to the decoder's 64-bit
+// sign-extended form.
+func sext32(v uint32) uint64 { return uint64(int64(int32(v))) }
+
+// jccTaken evaluates a conditional branch against the flags.
+func jccTaken(op isa.Op, f *Flags) bool {
+	switch op {
+	case isa.JZ:
+		return f.ZF
+	case isa.JNZ:
+		return !f.ZF
+	case isa.JL:
+		return f.SF != f.OF
+	case isa.JG:
+		return !f.ZF && f.SF == f.OF
+	case isa.JLE:
+		return f.ZF || f.SF != f.OF
+	case isa.JGE:
+		return f.SF == f.OF
+	case isa.JB:
+		return f.CF
+	case isa.JAE:
+		return !f.CF
+	}
+	return false
+}
+
+// execFused executes one fused superinstruction pair with the legacy
+// engine's exact observable semantics: each half charges, retires and
+// advances IP separately, so a fault in either half leaves the clock,
+// Retired and IP precisely where the per-instruction path would. On
+// success both instructions are retired and IP points at the pair's
+// successor (or branch/call target).
+func (c *CPU) execFused(e centry, ip, w, mask uint64, pending *uint64) *Exit {
+	next := ip + uint64(e.n)
+	switch e.op {
+	case fopCmpJcc:
+		*pending += uint64(e.cost)
+		a, b := c.Regs[e.dst]&mask, c.Regs[e.src]&mask
+		c.setArith(a-b, a, b, true)
+		t := next
+		if jccTaken(isa.Op(e.sub), &c.Flags) {
+			t = e.imm & mask
+		}
+		c.Retired += 2
+		c.IP = t
+	case fopCmpiJcc:
+		*pending += uint64(e.cost)
+		imm := sext32(uint32(e.imm))
+		a := c.Regs[e.dst] & mask
+		c.setArith(a-imm, a, imm, true)
+		t := next
+		if jccTaken(isa.Op(e.sub), &c.Flags) {
+			t = uint64(uint32(e.imm>>32)) & mask
+		}
+		c.Retired += 2
+		c.IP = t
+	case fopDecJnz:
+		*pending += uint64(e.cost)
+		a := c.Regs[e.dst] & mask
+		r := a - 1
+		c.setArith(r, a, 1, true)
+		c.Regs[e.dst] = r & mask
+		t := next
+		if !c.Flags.ZF {
+			t = e.imm & mask
+		}
+		c.Retired += 2
+		c.IP = t
+	case fopIncJnz:
+		*pending += uint64(e.cost)
+		a := c.Regs[e.dst] & mask
+		r := a + 1
+		c.setArith(r, a, 1, false)
+		c.Regs[e.dst] = r & mask
+		t := next
+		if !c.Flags.ZF {
+			t = e.imm & mask
+		}
+		c.Retired += 2
+		c.IP = t
+	case fopPushCall:
+		*pending += cycles.InstrBase
+		c.Regs[isa.RSP] -= w
+		if err := c.storeWord(c.Regs[isa.RSP], c.Regs[e.dst]&mask, c.Mode); err != nil {
+			return c.fault("push: %v", err)
+		}
+		c.Retired++
+		c.IP = ip + uint64(e.sub)
+		*pending += cycles.InstrBase
+		c.Regs[isa.RSP] -= w
+		if err := c.storeWord(c.Regs[isa.RSP], next, c.Mode); err != nil {
+			return c.fault("call push: %v", err)
+		}
+		c.Retired++
+		c.IP = e.imm & mask
+	case fopSubiCall:
+		*pending += cycles.InstrBase
+		imm := sext32(uint32(e.imm))
+		a := c.Regs[e.dst] & mask
+		r := a - imm
+		c.setArith(r, a, imm, true)
+		c.Regs[e.dst] = r & mask
+		c.Retired++
+		c.IP = ip + uint64(e.sub)
+		*pending += cycles.InstrBase
+		c.Regs[isa.RSP] -= w
+		if err := c.storeWord(c.Regs[isa.RSP], next, c.Mode); err != nil {
+			return c.fault("call push: %v", err)
+		}
+		c.Retired++
+		c.IP = uint64(uint32(e.imm>>32)) & mask
+	case fopMoviCall:
+		*pending += cycles.InstrBase
+		c.Regs[e.dst] = sext32(uint32(e.imm)) & mask
+		c.Retired++
+		c.IP = ip + uint64(e.sub)
+		*pending += cycles.InstrBase
+		c.Regs[isa.RSP] -= w
+		if err := c.storeWord(c.Regs[isa.RSP], next, c.Mode); err != nil {
+			return c.fault("call push: %v", err)
+		}
+		c.Retired++
+		c.IP = uint64(uint32(e.imm>>32)) & mask
+	case fopPushSubi:
+		*pending += cycles.InstrBase
+		c.Regs[isa.RSP] -= w
+		if err := c.storeWord(c.Regs[isa.RSP], c.Regs[e.dst]&mask, c.Mode); err != nil {
+			return c.fault("push: %v", err)
+		}
+		c.Retired++
+		*pending += cycles.InstrBase
+		a := c.Regs[e.src] & mask
+		r := a - e.imm
+		c.setArith(r, a, e.imm, true)
+		c.Regs[e.src] = r & mask
+		c.Retired++
+		c.IP = next
+	case fopPopPush:
+		*pending += cycles.InstrBase
+		v, err := c.loadWord(c.Regs[isa.RSP], c.Mode)
+		if err != nil {
+			return c.fault("pop: %v", err)
+		}
+		c.Regs[isa.RSP] += w
+		c.Regs[e.dst] = v & mask
+		c.Retired++
+		c.IP = ip + uint64(e.sub)
+		*pending += cycles.InstrBase
+		c.Regs[isa.RSP] -= w
+		if err := c.storeWord(c.Regs[isa.RSP], c.Regs[e.src]&mask, c.Mode); err != nil {
+			return c.fault("push: %v", err)
+		}
+		c.Retired++
+		c.IP = next
+	case fopAddRet:
+		*pending += cycles.InstrBase
+		a, b := c.Regs[e.dst]&mask, c.Regs[e.src]&mask
+		r := a + b
+		c.setArith(r, a, b, false)
+		c.Regs[e.dst] = r & mask
+		c.Retired++
+		c.IP = ip + uint64(e.sub)
+		*pending += cycles.InstrBase
+		v, err := c.loadWord(c.Regs[isa.RSP], c.Mode)
+		if err != nil {
+			return c.fault("ret pop: %v", err)
+		}
+		c.Regs[isa.RSP] += w
+		c.Retired++
+		c.IP = v & mask
+	default:
+		return c.fault("unimplemented fused opcode %d", e.op)
+	}
+	return nil
 }
 
 // codeAt returns the decoded page at index page, or nil.

@@ -1,0 +1,243 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cycles"
+	"repro/internal/isa"
+)
+
+// fibSrc is the recursive-fib microbenchmark: call-heavy, so it
+// exercises followed calls, speculated returns and the fused stack
+// pairs of the trace compiler.
+const fibSrc = `
+.bits 64
+	movi rdi, 15
+	call vx_fib
+	hlt
+vx_fib:
+	cmp rdi, 2
+	jge vx_fib_rec
+	mov rax, rdi
+	ret
+vx_fib_rec:
+	push rdi
+	sub rdi, 1
+	call vx_fib
+	pop rdi
+	push rax
+	sub rdi, 2
+	call vx_fib
+	pop rbx
+	add rax, rbx
+	ret
+`
+
+// execSrc assembles src into a fresh long-mode CPU and runs it to the
+// first exit under the selected engine.
+func execSrc(t testing.TB, src string, legacy, noJIT bool) (*CPU, *Exit, uint64) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := make([]byte, 1<<20)
+	copy(mem[p.Origin:], p.Code)
+	clk := cycles.NewClock()
+	c := New(mem, clk, p.Entry)
+	c.Legacy, c.NoJIT = legacy, noJIT
+	c.SetupLongMode()
+	ex := c.Run(100_000_000)
+	return c, ex, clk.Now()
+}
+
+// The three engines — legacy decode-every-instruction, predecoded
+// (NoJIT) and trace-compiled — must agree bit-for-bit on registers,
+// flags, retirement count and virtual cycles.
+func TestTraceEngineFibParity(t *testing.T) {
+	jit, exJ, cyJ := execSrc(t, fibSrc, false, false)
+	fused, exF, cyF := execSrc(t, fibSrc, false, true)
+	legacy, exL, cyL := execSrc(t, fibSrc, true, false)
+	for _, ex := range []*Exit{exJ, exF, exL} {
+		if ex.Reason != ExitHalt {
+			t.Fatalf("exit %+v", ex)
+		}
+	}
+	if jit.Regs[isa.RAX] != 610 {
+		t.Fatalf("fib(15) = %d, want 610", jit.Regs[isa.RAX])
+	}
+	if cyJ != cyL || cyF != cyL {
+		t.Fatalf("cycles diverge: jit %d, fused %d, legacy %d", cyJ, cyF, cyL)
+	}
+	if jit.Regs != legacy.Regs || fused.Regs != legacy.Regs {
+		t.Fatalf("registers diverge across engines")
+	}
+	if jit.Retired != legacy.Retired || fused.Retired != legacy.Retired {
+		t.Fatalf("retired diverge: jit %d, fused %d, legacy %d",
+			jit.Retired, fused.Retired, legacy.Retired)
+	}
+	if jit.Flags != legacy.Flags {
+		t.Fatalf("flags diverge: jit %+v, legacy %+v", jit.Flags, legacy.Flags)
+	}
+	if jit.Stats.BlocksCompiled == 0 || jit.Stats.BlockHits == 0 {
+		t.Fatalf("trace tier never engaged: %+v", jit.Stats)
+	}
+	if fused.Stats.BlocksCompiled != 0 {
+		t.Fatalf("NoJIT compiled traces: %+v", fused.Stats)
+	}
+}
+
+// A guest store into its own compiled trace must deoptimize: the store
+// completes, the trace stops, and the rewritten bytes execute — with
+// virtual cycles identical to the legacy engine.
+func TestTraceSMCDeoptParity(t *testing.T) {
+	// Five iterations: the first predecodes, the second compiles the
+	// loop trace, and the patch store then lands inside the running
+	// trace's own page.
+	src := `
+.bits 64
+_start:
+	movi rcx, 5
+loop:
+patch:
+	movi rbx, 7
+	movi rdi, patch
+	mov rax, rcx
+	store [rdi+2], rax
+	add rsi, rbx
+	dec rcx
+	jnz loop
+	hlt
+`
+	jit, exJ, cyJ := execSrc(t, src, false, false)
+	legacy, exL, cyL := execSrc(t, src, true, false)
+	if exJ.Reason != ExitHalt || exL.Reason != ExitHalt {
+		t.Fatalf("exits: jit %+v legacy %+v", exJ, exL)
+	}
+	if cyJ != cyL {
+		t.Fatalf("cycles diverge: jit %d, legacy %d", cyJ, cyL)
+	}
+	if jit.Regs != legacy.Regs || jit.Retired != legacy.Retired {
+		t.Fatalf("state diverges: jit %v/%d, legacy %v/%d",
+			jit.Regs, jit.Retired, legacy.Regs, legacy.Retired)
+	}
+	if jit.Stats.BlocksCompiled == 0 {
+		t.Fatalf("loop trace never compiled: %+v", jit.Stats)
+	}
+	if jit.Stats.BlockDeopts == 0 {
+		t.Fatalf("self-modifying store never deoptimized: %+v", jit.Stats)
+	}
+}
+
+// A host write (WriteMem) into a compiled page must unhook its traces:
+// the next entry re-decodes the patched bytes. The guest OUTs once per
+// iteration so the host can patch between resumptions, and the whole
+// interleaving must cost exactly the legacy cycles.
+func TestTraceHostWritePatchParity(t *testing.T) {
+	src := `
+.bits 64
+_start:
+	movi rdi, patch
+	out 0x08, rdi
+	movi rcx, 4
+loop:
+patch:
+	movi rbx, 5
+	add rsi, rbx
+	out 0x07, rbx
+	dec rcx
+	jnz loop
+	hlt
+`
+	exec := func(legacy bool) (*CPU, uint64) {
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := make([]byte, 1<<20)
+		copy(mem[p.Origin:], p.Code)
+		clk := cycles.NewClock()
+		c := New(mem, clk, p.Entry)
+		c.Legacy = legacy
+		c.SetupLongMode()
+		var patchAddr uint64
+		patched := false
+		for {
+			ex := c.Run(1_000_000)
+			if ex.Reason == ExitHalt {
+				break
+			}
+			if ex.Reason != ExitIO {
+				t.Fatalf("legacy=%v: exit %+v", legacy, ex)
+			}
+			switch ex.Port {
+			case 0x08:
+				// The guest reports the patch site's virtual address.
+				patchAddr = c.Regs[ex.Reg]
+			case 0x07:
+				if !patched {
+					// Patch the movi immediate from the host side after
+					// the first iteration (the trace is compiled by then
+					// in the cached engine).
+					if err := c.WriteMem(patchAddr+2, []byte{9, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+						t.Fatal(err)
+					}
+					patched = true
+				}
+			}
+		}
+		return c, clk.Now()
+	}
+	jit, cyJ := exec(false)
+	legacy, cyL := exec(true)
+	if cyJ != cyL {
+		t.Fatalf("cycles diverge: jit %d, legacy %d", cyJ, cyL)
+	}
+	if jit.Regs != legacy.Regs || jit.Retired != legacy.Retired {
+		t.Fatalf("state diverges: jit %v/%d, legacy %v/%d",
+			jit.Regs, jit.Retired, legacy.Regs, legacy.Retired)
+	}
+	// 4 iterations: 5 before the patch lands, 9 after → 5+9+9+9.
+	if want := uint64(5 + 9 + 9 + 9); jit.Regs[isa.RSI] != want {
+		t.Fatalf("rsi = %d, want %d (host patch not observed)", jit.Regs[isa.RSI], want)
+	}
+}
+
+func BenchmarkJITProbeFib(b *testing.B) {
+	src := `
+.bits 64
+	movi rdi, 21
+	call vx_fib
+	hlt
+vx_fib:
+	cmp rdi, 2
+	jge vx_fib_rec
+	mov rax, rdi
+	ret
+vx_fib_rec:
+	push rdi
+	sub rdi, 1
+	call vx_fib
+	pop rdi
+	push rax
+	sub rdi, 2
+	call vx_fib
+	pop rbx
+	add rax, rbx
+	ret
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem := make([]byte, 1<<20)
+		copy(mem[p.Origin:], p.Code)
+		c := New(mem, cycles.NewClock(), p.Entry)
+		c.SetupLongMode()
+		c.Run(100_000_000)
+		b.ReportMetric(float64(c.Retired), "instr")
+	}
+}

@@ -1,0 +1,97 @@
+package vmm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/cycles"
+	"repro/internal/isa"
+)
+
+// Property test for the cached engine's dirty-span log: over a random
+// store corpus — scattered word/byte stores, push/pop traffic and a
+// compiled store loop — the batched span log must mark exactly the same
+// pages as the legacy engine's immediate per-store reporting, at
+// exactly the same virtual-cycle cost.
+func TestDirtyBitmapSpanLogMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		var b strings.Builder
+		b.WriteString(".bits 64\n_start:\n")
+		// Scattered stores across the data region, word and byte sized,
+		// some adjacent (coalescing), some descending (backward merge).
+		base := uint64(0x80000)
+		for i := 0; i < 40; i++ {
+			addr := base + uint64(rng.Intn(0x100000))&^7
+			fmt.Fprintf(&b, "\tmovi rdi, %#x\n\tmovi rax, %d\n", addr, rng.Intn(1<<30))
+			if rng.Intn(3) == 0 {
+				b.WriteString("\tstoreb [rdi], rax\n")
+			} else {
+				b.WriteString("\tstore [rdi], rax\n")
+			}
+			if rng.Intn(2) == 0 {
+				// Adjacent follow-up store in a random direction.
+				fmt.Fprintf(&b, "\tmovi rdi, %#x\n\tstore [rdi], rax\n",
+					addr+8-uint64(rng.Intn(2))*16)
+			}
+		}
+		// A store loop: iterated enough to compile a trace, so the
+		// fused store closures' dirty reporting is exercised too.
+		stride := uint64(8 + 8*rng.Intn(600))
+		fmt.Fprintf(&b, `
+	movi rcx, %d
+	movi rdi, %#x
+loop:
+	store [rdi], rcx
+	add rdi, %d
+	push rcx
+	pop rbx
+	dec rcx
+	jnz loop
+	hlt
+`, 16+rng.Intn(48), base, stride)
+		src := b.String()
+
+		exec := func(legacy bool) (*Context, uint64) {
+			p, err := asm.Assemble(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clk := cycles.NewClock()
+			ctx := Create(2<<20, clk)
+			if err := ctx.Load(p.Code, p.Origin, p.Entry, isa.Mode64); err != nil {
+				t.Fatal(err)
+			}
+			ctx.CPU.Legacy = legacy
+			// Isolate guest stores: drop the image-load dirt.
+			ctx.ClearDirty()
+			if ex := ctx.Run(10_000_000); ex.Reason != cpu.ExitHalt {
+				t.Fatalf("trial %d legacy=%v: exit %+v", trial, legacy, ex)
+			}
+			return ctx, clk.Now()
+		}
+		fast, cyF := exec(false)
+		slow, cyL := exec(true)
+		if cyF != cyL {
+			t.Fatalf("trial %d: cycles diverge: cached %d, legacy %d", trial, cyF, cyL)
+		}
+		fp, lp := fast.DirtyPages(), slow.DirtyPages()
+		if len(fp) != len(lp) {
+			t.Fatalf("trial %d: dirty page count diverges: cached %d, legacy %d\ncached: %v\nlegacy: %v",
+				trial, len(fp), len(lp), fp, lp)
+		}
+		for i := range fp {
+			if fp[i] != lp[i] {
+				t.Fatalf("trial %d: dirty page sets diverge at %d: cached %v, legacy %v",
+					trial, i, fp, lp)
+			}
+		}
+		if fast.CPU.Regs != slow.CPU.Regs || fast.CPU.Retired != slow.CPU.Retired {
+			t.Fatalf("trial %d: architectural state diverges", trial)
+		}
+	}
+}

@@ -163,9 +163,9 @@ func TestCodeCacheSharedAcrossTenantClones(t *testing.T) {
 	if _, err := w.Run(img, RunConfig{}, cycles.NewClock()); err != nil {
 		t.Fatal(err)
 	}
-	entries, merges := w.CodeCacheStats()
-	if entries != 1 || merges != 1 {
-		t.Fatalf("after first run: entries=%d merges=%d, want 1/1", entries, merges)
+	cs := w.CodeCacheStats()
+	if cs.Entries != 1 || cs.Merges != 1 {
+		t.Fatalf("after first run: entries=%d merges=%d, want 1/1", cs.Entries, cs.Merges)
 	}
 
 	clone := img.WithName(img.Name + "@tenant-b")
@@ -176,9 +176,9 @@ func TestCodeCacheSharedAcrossTenantClones(t *testing.T) {
 	if res.ExitCode != 0 {
 		t.Fatalf("clone run exit = %d", res.ExitCode)
 	}
-	entries, merges = w.CodeCacheStats()
-	if entries != 1 || merges != 1 {
-		t.Fatalf("after clone run: entries=%d merges=%d, want 1/1 (clone re-decoded)", entries, merges)
+	cs = w.CodeCacheStats()
+	if cs.Entries != 1 || cs.Merges != 1 {
+		t.Fatalf("after clone run: entries=%d merges=%d, want 1/1 (clone re-decoded)", cs.Entries, cs.Merges)
 	}
 
 	// A genuinely different image must get its own entry.
@@ -186,9 +186,8 @@ func TestCodeCacheSharedAcrossTenantClones(t *testing.T) {
 	if _, err := w.Run(other, RunConfig{}, cycles.NewClock()); err != nil {
 		t.Fatal(err)
 	}
-	entries, _ = w.CodeCacheStats()
-	if entries != 2 {
-		t.Fatalf("after a distinct image: entries=%d, want 2", entries)
+	if cs = w.CodeCacheStats(); cs.Entries != 2 {
+		t.Fatalf("after a distinct image: entries=%d, want 2", cs.Entries)
 	}
 }
 

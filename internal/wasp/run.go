@@ -62,6 +62,9 @@ type Result struct {
 	BootEvents [cpu.NumEvents]uint64
 	// GuestEntry is the clock value at the first guest entry.
 	GuestEntry uint64
+	// JIT is this run's compiled-tier activity delta (fused entries
+	// created, traces compiled/entered/deoptimized).
+	JIT cpu.JITStats
 	// SnapshotUsed reports whether this run restored from a snapshot.
 	SnapshotUsed bool
 	// COWPages is the number of pages a copy-on-write reset copied
@@ -130,6 +133,10 @@ func (w *Wasp) RunOn(platform string, img *guest.Image, cfg RunConfig, clk *cycl
 		ctx = w.acquire(be, memBytes, clk)
 	}
 	ctx.CPU.Legacy = w.legacyInterp
+	ctx.CPU.NoJIT = w.noJIT
+	if w.pairProf != nil {
+		ctx.CPU.PairProf = make(map[uint16]uint64)
+	}
 	parked := false
 	defer func() {
 		if !parked {
@@ -139,6 +146,7 @@ func (w *Wasp) RunOn(platform string, img *guest.Image, cfg RunConfig, clk *cycl
 
 	ctx.FirstEntry = 0
 	retired0 := ctx.CPU.Retired
+	stats0 := ctx.CPU.Stats
 	res := &Result{}
 	var snap *snapshot
 	if cfg.Snapshot && w.snapEnable {
@@ -273,6 +281,27 @@ func (w *Wasp) RunOn(platform string, img *guest.Image, cfg RunConfig, clk *cycl
 	res.BootEvents = ctx.CPU.Events
 	res.GuestEntry = ctx.FirstEntry
 	res.Cycles = clk.Now() - start
+	// Compiled-tier activity: contexts are pooled, so the per-CPU
+	// counters are cumulative across tenants — report this run's delta
+	// and fold it into the Wasp-lifetime aggregate.
+	res.JIT = cpu.JITStats{
+		Fused:          ctx.CPU.Stats.Fused - stats0.Fused,
+		BlocksCompiled: ctx.CPU.Stats.BlocksCompiled - stats0.BlocksCompiled,
+		BlockHits:      ctx.CPU.Stats.BlockHits - stats0.BlockHits,
+		BlockDeopts:    ctx.CPU.Stats.BlockDeopts - stats0.BlockDeopts,
+	}
+	w.jitFused.Add(res.JIT.Fused)
+	w.jitCompiled.Add(res.JIT.BlocksCompiled)
+	w.jitHits.Add(res.JIT.BlockHits)
+	w.jitDeopts.Add(res.JIT.BlockDeopts)
+	if w.pairProf != nil && ctx.CPU.PairProf != nil {
+		w.pairMu.Lock()
+		for k, n := range ctx.CPU.PairProf {
+			w.pairProf[k] += n
+		}
+		w.pairMu.Unlock()
+		ctx.CPU.PairProf = nil // the context returns to a shared pool
+	}
 	// Harvest newly decoded pages into the per-image registry so the
 	// next run — on any shell — starts predecoded. On the warm path
 	// every page was adopted and nothing new was decoded, so the

@@ -40,11 +40,13 @@ package wasp
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/cpu"
 	"repro/internal/cycles"
+	"repro/internal/isa"
 	"repro/internal/vmm"
 )
 
@@ -64,10 +66,23 @@ type Wasp struct {
 	snapEnable   bool
 	cow          bool
 	legacyInterp bool
+	noJIT        bool
 	platforms    []vmm.Platform
 	policy       PoolPolicy
 
 	poolDrops atomic.Uint64 // sync-clean shells dropped at the capacity bound
+
+	// Lifetime compiled-tier activity, aggregated from per-run deltas
+	// (contexts are pooled, so per-CPU counters alone mean nothing).
+	jitFused    atomic.Uint64
+	jitCompiled atomic.Uint64
+	jitHits     atomic.Uint64
+	jitDeopts   atomic.Uint64
+
+	// pairProf accumulates opcode-pair counts across runs when
+	// WithPairProfile is on (guarded by pairMu; runs may be concurrent).
+	pairMu   sync.Mutex
+	pairProf map[uint16]uint64
 }
 
 // backend is one hosted-hypervisor's slice of the runtime: its shell
@@ -147,6 +162,27 @@ func WithPlatforms(ps ...vmm.Platform) Option {
 // bit-identical either way (the differential determinism tests enforce
 // it); only host wall-clock differs.
 func WithLegacyInterp(on bool) Option { return func(w *Wasp) { w.legacyInterp = on } }
+
+// WithNoJIT disables the compiled-trace tier of the cached engine: guest
+// code still runs from predecoded (and fused) entries, one dispatch per
+// entry, but no closure chains are compiled. This is the middle row of
+// the interp benchmark's engine ablation; virtual cycles are identical
+// in all three engines.
+func WithNoJIT(on bool) Option { return func(w *Wasp) { w.noJIT = on } }
+
+// WithPairProfile records the dynamic opcode-pair frequency of every
+// guest instruction retired under this Wasp. Profiling forces the
+// legacy engine — the histogram must observe the natural instruction
+// stream, before superinstruction fusion rewrites it — so it is a
+// measurement mode, not a production one. Harvest with HotPairs.
+func WithPairProfile(on bool) Option {
+	return func(w *Wasp) {
+		if on {
+			w.legacyInterp = true
+			w.pairProf = make(map[uint16]uint64)
+		}
+	}
+}
 
 // WithCOW enables copy-on-write snapshot resets (§7.2's anticipated
 // optimization, as in SEUSS): a context stays bound to its image between
@@ -456,12 +492,65 @@ func (w *Wasp) DropSnapshot(name string) {
 	}
 }
 
-// CodeCacheStats reports the shared decoded-code registry's state:
-// distinct content entries and lifetime merge (decode-harvest) count.
-// Tenant clones of one binary share a content key, so running a renamed
-// image against warm content leaves both counters unchanged.
-func (w *Wasp) CodeCacheStats() (entries int, merges uint64) {
-	return w.codes.stats()
+// CodeStats reports the shared decoded-code registry's state plus the
+// compiled-trace tier's lifetime activity under this Wasp.
+type CodeStats struct {
+	// Entries is the number of distinct content keys in the registry;
+	// Merges counts lifetime decode harvests into it. Tenant clones of
+	// one binary share a content key, so running a renamed image
+	// against warm content leaves both unchanged.
+	Entries int
+	Merges  uint64
+	// Fused counts superinstruction entries created at predecode;
+	// BlocksCompiled, BlockHits and BlockDeopts track the compiled
+	// closure-trace tier, aggregated across all runs (and all pooled
+	// contexts) of this Wasp.
+	Fused          uint64
+	BlocksCompiled uint64
+	BlockHits      uint64
+	BlockDeopts    uint64
+}
+
+// CodeCacheStats snapshots the registry and compiled-tier counters.
+func (w *Wasp) CodeCacheStats() CodeStats {
+	entries, merges := w.codes.stats()
+	return CodeStats{
+		Entries:        entries,
+		Merges:         merges,
+		Fused:          w.jitFused.Load(),
+		BlocksCompiled: w.jitCompiled.Load(),
+		BlockHits:      w.jitHits.Load(),
+		BlockDeopts:    w.jitDeopts.Load(),
+	}
+}
+
+// PairCount is one entry of the opcode-pair histogram: Count retirements
+// of First immediately followed by Second.
+type PairCount struct {
+	First, Second isa.Op
+	Count         uint64
+}
+
+// HotPairs returns the k most frequent dynamic opcode pairs observed
+// under WithPairProfile, most frequent first.
+func (w *Wasp) HotPairs(k int) []PairCount {
+	w.pairMu.Lock()
+	out := make([]PairCount, 0, len(w.pairProf))
+	for key, n := range w.pairProf {
+		out = append(out, PairCount{First: isa.Op(key >> 8), Second: isa.Op(key & 0xFF), Count: n})
+	}
+	w.pairMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return uint16(out[i].First)<<8|uint16(out[i].Second) <
+			uint16(out[j].First)<<8|uint16(out[j].Second)
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
 }
 
 // guestMem is the bounds-checked GuestMem window handlers receive. Bulk
