@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/guest"
+	"repro/internal/wasp"
+)
+
+// SnapshotForest measures the content-addressed snapshot forest under
+// multi-tenancy: thousands of tenants forked (guest.Image.WithName)
+// from one httpd-shaped and one JS-shaped base image, each tenant
+// snapshotted with its own identity page. The figure of merit is the
+// marginal memory a tenant costs once the base layer exists — with
+// per-tenant deep copies it is the whole captured image; with the
+// forest it is the pages the tenant actually changed.
+//
+// -trials scales load in thousands of tenants per corpus: -trials 1 is
+// the CI smoke (1k tenants), -trials 10 the committed BENCH_snapshot
+// run (10k tenants).
+
+// httpdTenantAsm is the httpd-shaped tenant: fill a response buffer in
+// the heap (the server's in-memory document), snapshot, then serve —
+// read the tenant id argument, stamp it into the response, return it.
+func httpdTenantAsm() string {
+	return `
+	movi rcx, 1536
+	movi rdi, 0x5000
+ht_fill:
+	mov rax, rdi
+	and rax, 255
+	storeb [rdi], rax
+	add rdi, 1
+	dec rcx
+	jnz ht_fill
+	out 0x08, rdi        ; snapshot(): warm server, request not yet seen
+	movi rbx, 0x0
+	load rax, [rbx]      ; tenant id = request identity
+	movi rbx, 0x5000
+	load rdx, [rbx]      ; first doc word, carried into the response
+	add rax, rdx
+	movi rbx, 0x4000
+	store [rbx], rax
+	movi rdi, 0
+	out 0x00, rdi
+	hlt
+`
+}
+
+// jsTenantAsm is the JS-shaped tenant: fill a bytecode program into the
+// heap, snapshot, then interpret it with the tenant id seeding the
+// accumulator — a miniature of the Fig 14 JS dispatch loop.
+func jsTenantAsm() string {
+	return `
+	movi rcx, 1024
+	movi rdi, 0x5000
+jt_fill:
+	mov rax, rcx
+	and rax, 3
+	storeb [rdi], rax
+	add rdi, 1
+	dec rcx
+	jnz jt_fill
+	out 0x08, rdi        ; snapshot(): program loaded, not yet run
+	movi rbx, 0x0
+	load rsi, [rbx]      ; accumulator seeded with the tenant id
+	movi rcx, 1024
+	movi rdi, 0x5000
+jt_dispatch:
+	loadb rax, [rdi]
+	cmp rax, 1
+	jz jt_add
+	cmp rax, 2
+	jz jt_dbl
+	jmp jt_next
+jt_add:
+	add rsi, 7
+	jmp jt_next
+jt_dbl:
+	add rsi, rsi
+jt_next:
+	add rdi, 1
+	dec rcx
+	jnz jt_dispatch
+	movi rbx, 0x4000
+	store [rbx], rsi
+	movi rdi, 0
+	out 0x00, rdi
+	hlt
+`
+}
+
+// SnapshotForest is the `-exp snapshot` runner.
+func SnapshotForest(trials int) (*Table, error) {
+	tenants := clampTrials(trials, 1, 10) * 1000
+	t := &Table{
+		ID:    "snapshot",
+		Title: "Snapshot forest: marginal memory per tenant clone",
+		Header: []string{"corpus", "tenants", "image-KB", "delta-pages",
+			"marginal-KB", "store-MB", "legacy-MB", "dedup"},
+	}
+
+	for _, c := range []struct {
+		name string
+		src  string
+		pad  int
+	}{
+		{"httpd", httpdTenantAsm(), 32 << 10},
+		{"js", jsTenantAsm(), 32 << 10},
+	} {
+		w := wasp.New()
+		base := guest.MustFromAsm("snapfor-"+c.name, guest.WrapLongMode(c.src)).WithPad(c.pad)
+		// capturedBytes mirrors the capture windows: [0, footprint) plus
+		// the stack reserve — the size of one legacy deep-copy snapshot.
+		foot := base.Footprint() + base.ExtraHeap
+		if foot > base.MemBytes() {
+			foot = base.MemBytes()
+		}
+		capturedBytes := foot + guest.StackReserve
+
+		var after0 int64
+		for i := 0; i < tenants; i++ {
+			img := base.WithName(fmt.Sprintf("snapfor-%s-%05d", c.name, i))
+			var arg [8]byte
+			binary.LittleEndian.PutUint64(arg[:], uint64(i))
+			res, err := w.Run(img, wasp.RunConfig{Snapshot: true, RetBytes: 8, Args: arg[:]}, cycles.NewClock())
+			if err != nil {
+				return nil, fmt.Errorf("snapshot %s tenant %d: %w", c.name, i, err)
+			}
+			if len(res.Ret) != 8 {
+				return nil, fmt.Errorf("snapshot %s tenant %d: short return", c.name, i)
+			}
+			if i == 0 {
+				after0 = w.ForestStats().StoreBytes
+			}
+		}
+		st := w.ForestStats()
+		if st.Snapshots != tenants {
+			return nil, fmt.Errorf("snapshot %s: %d snapshots, want %d", c.name, st.Snapshots, tenants)
+		}
+		if err := w.VerifyForest(); err != nil {
+			return nil, fmt.Errorf("snapshot %s: %w", c.name, err)
+		}
+		marginal := float64(st.StoreBytes-after0) / float64(tenants-1)
+		deltaPages := float64(st.DeltaPages) / float64(st.DeltaSnapshots)
+		legacyBytes := float64(capturedBytes) * float64(tenants)
+		dedup := legacyBytes / float64(st.StoreBytes)
+		t.AddRow(c.name, di(tenants),
+			f1(float64(capturedBytes)/1024),
+			f1(deltaPages),
+			f2(marginal/1024),
+			f2(float64(st.StoreBytes)/(1<<20)),
+			f1(legacyBytes/(1<<20)),
+			f1(dedup))
+	}
+	t.Note("image-KB: captured bytes of one snapshot (what a deep copy costs per tenant)")
+	t.Note("marginal-KB: shared-store growth per tenant after the base layer exists")
+	t.Note("legacy-MB: tenants x image-KB — the deep-copy registries this forest replaced")
+	t.Note("dedup: legacy-MB / store-MB")
+	return t, nil
+}

@@ -109,6 +109,7 @@ var Registry = []struct {
 	{"admission", "Multi-tenant admission control: noisy-neighbor fairness", AdmissionFairness},
 	{"interp", "Interpreter host speed: MIPS / ns per guest instruction", InterpSpeed},
 	{"placement", "Multi-backend placement: homogeneous vs split fleets", Placement},
+	{"snapshot", "Snapshot forest: marginal memory per tenant clone", SnapshotForest},
 }
 
 // Lookup finds a runner by experiment ID.

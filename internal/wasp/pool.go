@@ -358,16 +358,25 @@ func (p *shellPools) total() int {
 }
 
 // snapRegistry holds per-image snapshots. Reads (every warm Run) take
-// the shared lock; writes happen once per image at capture time.
+// the shared lock; writes happen once per image at capture time. The
+// registry owns one reference on each forest-backed snapshot's layer:
+// get hands the caller a transient reference of its own (callers must
+// release), and put/drop release the reference of the snapshot they
+// replace or remove — so a re-capture racing an in-flight restore can
+// never free store pages the restore is still copying from.
 type snapRegistry struct {
 	mu    sync.RWMutex
 	byImg map[string]*snapshot
 }
 
+// get returns the named snapshot with its layer retained on the
+// caller's behalf; callers must call release when done with it.
 func (r *snapRegistry) get(name string) *snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.byImg[name]
+	s := r.byImg[name]
+	s.retain()
+	return s
 }
 
 func (r *snapRegistry) has(name string) bool {
@@ -377,19 +386,35 @@ func (r *snapRegistry) has(name string) bool {
 	return ok
 }
 
+// put installs a snapshot, taking ownership of the caller's layer
+// reference, and releases the snapshot it replaces, if any.
 func (r *snapRegistry) put(name string, s *snapshot) {
 	r.mu.Lock()
 	if r.byImg == nil {
 		r.byImg = make(map[string]*snapshot)
 	}
+	old := r.byImg[name]
 	r.byImg[name] = s
 	r.mu.Unlock()
+	old.release()
 }
 
 func (r *snapRegistry) drop(name string) {
 	r.mu.Lock()
+	old := r.byImg[name]
 	delete(r.byImg, name)
 	r.mu.Unlock()
+	old.release()
+}
+
+// forEach visits every snapshot under the read lock (stats only — the
+// callback must not retain or mutate).
+func (r *snapRegistry) forEach(fn func(name string, s *snapshot)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, s := range r.byImg {
+		fn(name, s)
+	}
 }
 
 // cowShardCount shards the image-bound COW shells by image name.

@@ -150,7 +150,11 @@ func (w *Wasp) RunOn(platform string, img *guest.Image, cfg RunConfig, clk *cycl
 	res := &Result{}
 	var snap *snapshot
 	if cfg.Snapshot && w.snapEnable {
+		// get retains the snapshot's layer for the life of this run, so
+		// a concurrent re-capture of the same image can never release
+		// store pages this restore still reads from.
 		snap = be.snapshots.get(img.Name)
+		defer snap.release()
 	}
 	if snap == nil {
 		resident = false // nothing to reset against
@@ -160,19 +164,23 @@ func (w *Wasp) RunOn(platform string, img *guest.Image, cfg RunConfig, clk *cycl
 		if resident {
 			// COW reset (§7.2): the context already holds the snapshot
 			// image; copy back only the pages dirtied since the
-			// snapshot point. Each restored page's decoded code must be
-			// invalidated here: the write-time invalidation only covered
-			// entries that existed when the guest dirtied the page, not
-			// decodes re-created afterwards from the modified bytes.
+			// snapshot point — faulting each page in from the nearest
+			// layer of the snapshot forest that owns it (or the private
+			// deep copy under WithLegacySnapshots). Each restored
+			// page's decoded code must be invalidated here: the
+			// write-time invalidation only covered entries that existed
+			// when the guest dirtied the page, not decodes re-created
+			// afterwards from the modified bytes.
 			pages := ctx.DirtyPages()
+			snapLen := snap.memLen()
 			for _, p := range pages {
 				lo := p * vmm.PageSize
 				hi := lo + vmm.PageSize
-				if hi > len(snap.mem) {
-					hi = len(snap.mem)
+				if hi > snapLen {
+					hi = snapLen
 				}
-				if lo < len(snap.mem) {
-					copy(ctx.Mem[lo:hi], snap.mem[lo:hi])
+				if lo < snapLen {
+					snap.restorePage(p, ctx.Mem[lo:hi])
 					ctx.CPU.InvalidateCode(uint64(lo), hi-lo)
 				}
 			}
@@ -182,8 +190,16 @@ func (w *Wasp) RunOn(platform string, img *guest.Image, cfg RunConfig, clk *cycl
 			res.COWPages = len(pages)
 		} else {
 			// Fast path (Fig 7): restore the snapshot — one memcpy of
-			// the captured footprint — and resume at the snapshot point.
-			copy(ctx.Mem, snap.mem)
+			// the captured footprint — and resume at the snapshot
+			// point. Forest-backed snapshots materialize through the
+			// layer chain; the charged cost is identical (the restored
+			// byte count is the same), so virtual cycles do not depend
+			// on the snapshot representation.
+			if snap.layer != nil {
+				snap.layer.MaterializeInto(ctx.Mem)
+			} else {
+				copy(ctx.Mem, snap.mem)
+			}
 			clk.Advance(cycles.MemcpyCost(snap.captured))
 			ctx.ClearDirty()
 		}
@@ -389,31 +405,55 @@ func (w *Wasp) serviceHypercall(be *backend, ctx *vmm.Context, img *guest.Image,
 
 // capture stores a snapshot of the context for img in the backend's
 // registry. The memory captured is the image footprint plus the stack
-// region — what the paper's memcpy-based reset copies (§6.2); cost
-// scales with image size.
+// region — what the paper's memcpy-based reset copies (§6.2); the
+// charged cost scales with image size regardless of representation.
+//
+// Forest mode (the default) captures into the backend's
+// content-addressed snapshot forest: the captured windows are hashed
+// page-by-page into the shared store, deduplicated against every page
+// already stored, and — when the backend already holds a base layer for
+// this image *content* — recorded as a thin delta owning only the pages
+// that differ from the base. The first capture of a content becomes its
+// shared base layer, so tenant clones made with guest.Image.WithName
+// cost their delta, not the image.
 func (w *Wasp) capture(be *backend, ctx *vmm.Context, img *guest.Image, native any, booted bool, clk *cycles.Clock) {
 	foot := img.Footprint() + img.ExtraHeap
 	if foot > len(ctx.Mem) {
 		foot = len(ctx.Mem)
 	}
-	// Capture [0, foot) and the stack at the top in one buffer sized
-	// like the full guest so restore is a straight copy; cost charged is
-	// proportional to bytes actually captured.
-	mem := make([]byte, len(ctx.Mem))
-	copy(mem[:foot], ctx.Mem[:foot])
 	stackStart := len(ctx.Mem) - guest.StackReserve
 	if stackStart < foot {
 		stackStart = foot
 	}
-	copy(mem[stackStart:], ctx.Mem[stackStart:])
 	captured := foot + (len(ctx.Mem) - stackStart)
+	snap := &snapshot{
+		contentKey: img.ContentKey(),
+		captured:   captured,
+		state:      ctx.CPU.Save(),
+		native:     native,
+		booted:     booted,
+	}
+	if w.legacySnaps {
+		// Legacy deep copy: [0, foot) and the stack in one private
+		// buffer sized like the full guest so restore is a straight copy.
+		mem := make([]byte, len(ctx.Mem))
+		copy(mem[:foot], ctx.Mem[:foot])
+		copy(mem[stackStart:], ctx.Mem[stackStart:])
+		snap.mem = mem
+	} else {
+		windows := []vmm.Window{{Lo: 0, Hi: foot}, {Lo: stackStart, Hi: len(ctx.Mem)}}
+		base := be.bases.get(img.ContentKey())
+		if base != nil && base.MemLen() != len(ctx.Mem) {
+			// Same content at a different geometry (e.g. a WithPad
+			// variant): capture standalone rather than misgraft.
+			base = nil
+		}
+		snap.layer = vmm.CaptureLayer(be.forest, base, ctx.Mem, windows)
+		if base == nil {
+			be.bases.register(img.ContentKey(), snap.layer)
+		}
+	}
 	clk.Advance(cycles.MemcpyCost(captured))
 	ctx.ClearDirty()
-	be.snapshots.put(img.Name, &snapshot{
-		mem:      mem,
-		captured: captured,
-		state:    ctx.CPU.Save(),
-		native:   native,
-		booted:   booted,
-	})
+	be.snapshots.put(img.Name, snap)
 }

@@ -66,6 +66,7 @@ type Wasp struct {
 	snapEnable   bool
 	cow          bool
 	legacyInterp bool
+	legacySnaps  bool
 	noJIT        bool
 	platforms    []vmm.Platform
 	policy       PoolPolicy
@@ -86,15 +87,18 @@ type Wasp struct {
 }
 
 // backend is one hosted-hypervisor's slice of the runtime: its shell
-// pools, snapshot and COW registries, and (under Wasp+CA) its own
-// cleaner. Everything keyed by guest-memory content or VM state lives
-// here; a backend's shells and snapshots never serve another platform.
+// pools, snapshot and COW registries, snapshot forest, and (under
+// Wasp+CA) its own cleaner. Everything keyed by guest-memory content or
+// VM state lives here; a backend's shells and snapshots never serve
+// another platform.
 type backend struct {
 	platform  vmm.Platform
 	pools     shellPools
 	snapshots snapRegistry
 	cowShells cowRegistry
-	cleaner   *Cleaner // non-nil iff pooling && asyncClean
+	cleaner   *Cleaner       // non-nil iff pooling && asyncClean
+	forest    *vmm.PageStore // content-addressed page store behind all snapshots
+	bases     baseRegistry   // image content key -> shared base layer
 }
 
 type shell struct {
@@ -102,12 +106,61 @@ type shell struct {
 	dirty bool
 }
 
+// snapshot is one image's reset point. Forest-backed snapshots (the
+// default) hold a content-addressed layer whose pages live in the
+// backend's shared store; tenant clones of one binary are thin deltas
+// over a shared base layer. Legacy snapshots (WithLegacySnapshots, the
+// differential-test reference) hold the old private deep copy in mem.
+// Exactly one of layer / mem is set.
 type snapshot struct {
-	mem      []byte // guest-memory capture at the snapshot point
-	captured int    // bytes actually captured (restore cost basis)
-	state    cpu.State
-	native   any // opaque workload state for native images (§6.5 engine reuse)
-	booted   bool
+	layer      *vmm.Layer // forest mode: page table into the shared store
+	contentKey string     // image content key ("" only for hand-built test state)
+	mem        []byte     // legacy mode: private guest-memory deep copy
+	captured   int        // bytes actually captured (restore cost basis)
+	state      cpu.State
+	native     any // opaque workload state for native images (§6.5 engine reuse)
+	booted     bool
+}
+
+// retain pins the snapshot's layer for the duration of a restore or
+// export; release undoes it. No-ops for legacy deep-copy snapshots.
+func (s *snapshot) retain() {
+	if s != nil {
+		s.layer.Retain()
+	}
+}
+
+func (s *snapshot) release() {
+	if s != nil {
+		s.layer.Release()
+	}
+}
+
+// memLen is the guest-memory geometry the snapshot restores over.
+func (s *snapshot) memLen() int {
+	if s.layer != nil {
+		return s.layer.MemLen()
+	}
+	return len(s.mem)
+}
+
+// restorePage copies the snapshot's content for page p into dst (the
+// COW fault-in path). Forest snapshots resolve through the layer chain
+// — the nearest layer that owns the page supplies it, pages owned
+// nowhere are zero; legacy snapshots copy from the private deep copy.
+// dst must lie within page p.
+func (s *snapshot) restorePage(p int, dst []byte) {
+	if s.layer != nil {
+		if data := s.layer.PageData(p); data != nil {
+			copy(dst, data)
+		} else {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+		return
+	}
+	copy(dst, s.mem[p*vmm.PageSize:])
 }
 
 // Option configures a Wasp instance.
@@ -184,6 +237,16 @@ func WithPairProfile(on bool) Option {
 	}
 }
 
+// WithLegacySnapshots selects the original deep-copy snapshot
+// representation — one private full-memory buffer per snapshot —
+// instead of the content-addressed forest. Restore results and virtual
+// cycles are bit-identical either way (the forest property tests
+// enforce it); only host memory held by the snapshot registries
+// differs. This is a differential-testing reference, not a production
+// mode: layer-aware migration (delta export/graft import) degrades to
+// self-contained blobs under it.
+func WithLegacySnapshots(on bool) Option { return func(w *Wasp) { w.legacySnaps = on } }
+
 // WithCOW enables copy-on-write snapshot resets (§7.2's anticipated
 // optimization, as in SEUSS): a context stays bound to its image between
 // runs, and each restore copies back only the pages dirtied since the
@@ -208,7 +271,7 @@ func New(opts ...Option) *Wasp {
 		if _, dup := w.byPlat[p.Name()]; dup {
 			continue
 		}
-		be := &backend{platform: p}
+		be := &backend{platform: p, forest: vmm.NewPageStore()}
 		be.pools.policy = w.policy
 		if w.pooling && w.asyncClean {
 			be.cleaner = newCleaner(&be.pools)
@@ -485,10 +548,14 @@ func (w *Wasp) HasSnapshotOn(platform, name string) bool {
 }
 
 // DropSnapshot removes a stored snapshot from every backend (tests and
-// ablations).
+// ablations). Any COW shell parked against the image is discarded too:
+// its memory is a delta over the dropped snapshot, so rebooting it
+// without that reset point would leak post-snapshot state into the
+// image's next cold run.
 func (w *Wasp) DropSnapshot(name string) {
 	for _, be := range w.backends {
 		be.snapshots.drop(name)
+		be.cowShells.take(name)
 	}
 }
 
