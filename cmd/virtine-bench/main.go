@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig2, tab1, fig3, fig4, fig8, tab2, fig11, fig12, fig13, fig14, fig15, sched, wasp-ca, admission, interp, placement, snapshot, sec6.4); empty = all")
+	exp := flag.String("exp", "", "experiment id (fig2, tab1, fig3, fig4, fig8, tab2, fig11, fig12, fig13, fig14, fig15, sched, wasp-ca, admission, interp, placement, snapshot, rebalance, sec6.4); empty = all")
 	trials := flag.Int("trials", 200, "trials per measurement (clamped per experiment)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	list := flag.Bool("list", false, "list experiments and exit")

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/cycles"
+	"repro/internal/serverless"
+	"repro/internal/vmm"
+	"repro/internal/wasp"
+)
+
+// Rebalance is the live-rebalancing experiment: a tenant whose workload
+// drifts from quiet (2 hypercalls per run) to chatty (150 per run)
+// mid-trace, served by a 2+2 KVM/Paravirt split fleet whose cost
+// profiles are non-dominated — KVM creates cheaply, Paravirt enters and
+// exits cheaply. A sticky placement (the Migrating wrapper with
+// negative hysteresis: first preference wins forever) strands the
+// now-chatty tenant on the cheap-create backend; the Migrating placer
+// detects the drift through the cost model's per-image entry EWMA,
+// flips the tenant after its hysteresis streak, and ships the tenant's
+// warm snapshot to the new home (wasp.MigrateSnapshot) as a
+// base-grafted delta, so the first run there resumes instead of
+// cold-booting. Each configuration runs twice and the runner fails
+// unless the full reports are bit-identical — the determinism gate is
+// part of the experiment, not a separate test.
+//
+// -trials scales the trace (perPhase = 16 x trials drift runs per
+// phase): -trials 1 is the CI smoke, -trials 4 the committed
+// BENCH_rebalance run.
+func Rebalance(trials int) (*Table, error) {
+	scale := clampTrials(trials, 1, 8)
+	perPhase := 16 * scale
+	kvm, pv := vmm.KVM{}, vmm.Paravirt{}
+	fleet := []vmm.Platform{kvm, pv, kvm, pv}
+
+	configs := []struct {
+		name       string
+		hysteresis int
+	}{
+		{"sticky", -1},
+		{"migrating", 3},
+	}
+
+	t := &Table{
+		ID:    "rebalance",
+		Title: "Live rebalancing: drifting tenant, sticky vs migrating placement (virtual scheduler)",
+		Header: []string{"config", "workers", "makespan-ms", "drift-p50-ms", "drift-p99-ms",
+			"steady-p50-ms", "flips", "mig-bytes", "delta", "drift-on-pv", "home"},
+	}
+
+	run := func(name string, hysteresis int) (*serverless.RebalanceReport, error) {
+		w := wasp.New(wasp.WithPlatforms(kvm, pv))
+		return serverless.RunRebalanceMix(w, name, fleet, hysteresis, perPhase)
+	}
+
+	reports := map[string]*serverless.RebalanceReport{}
+	for _, cfg := range configs {
+		a, err := run(cfg.name, cfg.hysteresis)
+		if err != nil {
+			return nil, err
+		}
+		b, err := run(cfg.name, cfg.hysteresis)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(a, b) {
+			return nil, fmt.Errorf("rebalance %s: report not bit-identical across two virtual runs", cfg.name)
+		}
+		reports[cfg.name] = a
+		var driftOnPV uint64
+		for _, sl := range a.Backends {
+			if sl.Platform == pv.Name() {
+				driftOnPV = sl.DriftRuns
+			}
+		}
+		t.AddRow(cfg.name, di(a.Workers),
+			f2(cycles.Millis(a.Makespan)),
+			f2(a.DriftP50Ms), f2(a.DriftP99Ms), f2(a.SteadyP50Ms),
+			d0(a.Migrations), di(a.MigratedBytes), d0(a.DeltaMigrations),
+			d0(driftOnPV), a.FinalHome)
+	}
+
+	st, mg := reports["sticky"], reports["migrating"]
+	if mg.Makespan >= st.Makespan || mg.DriftP99Ms >= st.DriftP99Ms {
+		return nil, fmt.Errorf("rebalance: migrating (makespan %d, p99 %.3f ms) does not beat sticky (makespan %d, p99 %.3f ms)",
+			mg.Makespan, mg.DriftP99Ms, st.Makespan, st.DriftP99Ms)
+	}
+	t.Note("workload: %d quiet (2 hypercalls) then %d chatty (150) runs of one drifting tenant + %d steady bystanders",
+		perPhase, perPhase, 4*perPhase)
+	t.Note("makespan %.2f ms vs sticky %.2f ms, drift p99 %.2f ms vs %.2f — one flip after the drift, shipped as a %d-byte snapshot delta",
+		cycles.Millis(mg.Makespan), cycles.Millis(st.Makespan), mg.DriftP99Ms, st.DriftP99Ms, mg.MigratedBytes)
+	t.Note("each config ran twice; rows are asserted bit-identical before printing")
+	return t, nil
+}

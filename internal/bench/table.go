@@ -110,6 +110,7 @@ var Registry = []struct {
 	{"interp", "Interpreter host speed: MIPS / ns per guest instruction", InterpSpeed},
 	{"placement", "Multi-backend placement: homogeneous vs split fleets", Placement},
 	{"snapshot", "Snapshot forest: marginal memory per tenant clone", SnapshotForest},
+	{"rebalance", "Live rebalancing: drifting tenant, sticky vs migrating placement", Rebalance},
 }
 
 // Lookup finds a runner by experiment ID.

@@ -20,8 +20,12 @@
 //     virtual cycles. The deterministic virtual scheduler picks, among
 //     eligible workers, the one minimizing start(worker) + 1/weight —
 //     cost-aware list scheduling. Real-mode workers race for tickets,
-//     so there weights act as eligibility only; steering in real mode
-//     comes from pinning (Static) or from worker counts per platform.
+//     but the race is weight-aware: a backend whose bias advantage over
+//     the runner-up is material (against the image's own smoothed
+//     service time) gets first claim while it has an idle worker, and
+//     other eligible backends may take the ticket over only once the
+//     preferred backend is saturated — work conservation over strict
+//     preference. Near-ties race freely.
 //
 // Every policy here is a pure function of its inputs, so virtual-mode
 // schedules are deterministic: same trace, same fleet, same policy →
@@ -42,6 +46,12 @@ type ImageInfo struct {
 	// 0 before its first completion. The scheduler maintains it per
 	// image while a Placer is attached.
 	SvcEWMA uint64
+	// EntriesEWMA is the image's smoothed guest-entry count per run — how
+	// many times the hypervisor re-enters the guest (1 + one per
+	// hypercall). 0 before the first completion, treated as 1. It decides
+	// which platform's entry/exit profile dominates: a chatty image pays
+	// the entry/exit pair per hypercall, a quiet one pays it once.
+	EntriesEWMA uint64
 }
 
 // BackendInfo is one backend's live state at placement time. In virtual
@@ -106,24 +116,40 @@ func (s Static) Place(img ImageInfo, backends []BackendInfo) []float64 {
 const costAmortRuns = 8
 
 // overheadOf is a backend's estimated per-run hypervisor overhead in
-// cycles: the amortized create cost plus one entry/exit pair (Fig 5's
-// three measured operations).
-func overheadOf(p vmm.Platform) uint64 {
-	return p.CreateCost()/costAmortRuns + p.EntryCost() + p.ExitCost()
+// cycles: the amortized create cost plus one entry/exit pair per guest
+// entry (Fig 5's three measured operations). entries is the image's
+// smoothed guest-entry count (0 means unknown — assume one entry). The
+// result is float64 on purpose: synthetic cost profiles can push ov²
+// past uint64 in the bias computation below, and integer wraparound
+// there silently inverts the preference order.
+func overheadOf(p vmm.Platform, entries uint64) float64 {
+	if entries < 1 {
+		entries = 1
+	}
+	return float64(p.CreateCost())/costAmortRuns +
+		float64(p.EntryCost()+p.ExitCost())*float64(entries)
 }
 
 // CostModel scores backends by the Fig 5 create/entry/exit cycle costs
-// against the image's observed service EWMA. The placement bias of
-// backend b for an image with smoothed service time svc is
+// against the image's observed service and guest-entry EWMAs. The
+// placement bias of backend b for an image with smoothed service time
+// svc and smoothed entry count e is
 //
-//	bias(b) = ov(b)² / (ov(b) + svc)
+//	bias(b) = ov(b,e)² / (ov(b,e) + svc)
 //
-// where ov(b) is the backend's per-run overhead estimate. For a
+// where ov(b,e) is the backend's per-run overhead estimate — amortized
+// create cost plus one entry/exit pair per guest entry. For a
 // short-lived virtine (svc ≈ 0) the bias is the full overhead, so the
 // cheap-create backend wins by the whole Fig 5 gap; for a long-lived one
 // (svc >> ov) the bias vanishes, so the image amortizes its overhead
 // anywhere and drifts to whichever backend is free — keeping the cheap
-// backend's capacity for the runs that actually feel the difference.
+// backend's capacity for the runs that actually feel the difference. The
+// entry multiplier is what makes a paravirt-style profile (expensive
+// create, cheap entry/exit) win chatty images while KVM keeps the quiet
+// ones — a genuinely non-dominated trade-off.
+//
+// The bias is computed entirely in float64: ov² at synthetic extreme
+// profiles overflows uint64, which used to wrap and invert the ordering.
 type CostModel struct{}
 
 // Place implements Placer. Weights are 1/bias (see the package weight
@@ -131,9 +157,9 @@ type CostModel struct{}
 func (CostModel) Place(img ImageInfo, backends []BackendInfo) []float64 {
 	out := make([]float64, len(backends))
 	for i, b := range backends {
-		ov := overheadOf(b.Platform)
-		bias := ov * ov / (ov + img.SvcEWMA)
-		out[i] = 1 / float64(bias+1)
+		ov := overheadOf(b.Platform, img.EntriesEWMA)
+		bias := ov * ov / (ov + float64(img.SvcEWMA))
+		out[i] = 1 / (bias + 1)
 	}
 	return out
 }

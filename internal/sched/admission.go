@@ -43,6 +43,18 @@ type Admission struct {
 	// excess submission with ErrAdmission; false (the default) defers it
 	// in the image's queue until a slot frees.
 	RejectOverflow bool
+	// MaxPerBackend caps each image's in-flight tickets per hypervisor
+	// backend — capacity isolation inside a platform, not just across
+	// the fleet ("image X may hold at most 1 KVM worker"), so a hot
+	// image cannot monopolize the backend the placement policy prefers
+	// for everyone. Real mode enforces it at pop time (a worker skips
+	// images already holding their allotment of its backend); virtual
+	// mode models the wait as a delayed start on the capped backend
+	// while the placement bias weighs spilling to another backend
+	// against waiting. 0 means unlimited. Meaningful only on multi-
+	// backend fleets — on a single backend it duplicates MaxInFlight
+	// deferral.
+	MaxPerBackend int
 	// MaxQueued bounds each image's waiting tickets in the real-mode
 	// queue; beyond it, submissions shed with ErrAdmission even in
 	// deferral mode. Deferred tickets occupy the scheduler's shared
@@ -110,6 +122,11 @@ type imageState struct {
 	queue    []*Ticket // waiting tickets, FIFO within the image (real mode)
 	pass     uint64    // stride-scheduling virtual start tag
 	inFlight int       // dispatched, not yet completed (real mode)
+
+	// inFlightBy counts dispatched-but-not-completed tickets per backend
+	// index (real mode, MaxPerBackend only; nil otherwise — virtual mode
+	// models the quota in time instead, see quotaStartLocked).
+	inFlightBy []int
 
 	spans      []admitSpan // virtual mode: admission spans of dispatched tickets (hard cap only)
 	maxArrival uint64      // virtual mode: high-water arrival, the prune horizon
@@ -219,13 +236,36 @@ func (a *admission) pick(eligible func(*Ticket) bool) *Ticket {
 	return t
 }
 
+// claimBackend charges one in-flight slot of backend beIdx against the
+// image's per-backend quota (real mode; lazily sized to the fleet's
+// backend count). Caller holds the dispatch lock.
+func (st *imageState) claimBackend(beIdx, nBackends int) {
+	if st.inFlightBy == nil {
+		st.inFlightBy = make([]int, nBackends)
+	}
+	st.inFlightBy[beIdx]++
+}
+
+// inFlightOn reports the image's dispatched-but-not-completed count on
+// one backend (real mode). Caller holds the dispatch lock.
+func (st *imageState) inFlightOn(beIdx int) int {
+	if beIdx >= len(st.inFlightBy) {
+		return 0
+	}
+	return st.inFlightBy[beIdx]
+}
+
 // complete folds a finished ticket's telemetry back into its image:
-// in-flight release, service-time EWMA (the stride numerator), and
-// queue-delay accounting. Caller holds the dispatch lock.
+// in-flight release (global and per-backend), service-time EWMA (the
+// stride numerator), and queue-delay accounting. Caller holds the
+// dispatch lock.
 func (a *admission) complete(t *Ticket) {
 	st := a.state(t.Image)
 	if st.inFlight > 0 {
 		st.inFlight--
+	}
+	if t.servedBE < len(st.inFlightBy) && st.inFlightBy[t.servedBE] > 0 {
+		st.inFlightBy[t.servedBE]--
 	}
 	st.completed++
 	st.svcEWMA = stats.EWMA(st.svcEWMA, t.ServiceCycles())

@@ -40,8 +40,13 @@
 // shells only from that backend's pools. A placement policy
 // (WithPlacer, internal/placement) maps each image to its eligible
 // backends with weights: a worker only pops tickets its backend may
-// serve, and the deterministic virtual dispatcher additionally uses the
-// weights as a cost bias when choosing among eligible workers.
+// serve, the deterministic virtual dispatcher uses the weights as a
+// cost bias when choosing among eligible workers, and real-mode dispatch
+// steers each ticket toward its decisively-preferred backend while that
+// backend has idle capacity (other eligible backends take over once it
+// saturates). An Admission policy may additionally cap one image's
+// in-flight tickets per backend (MaxPerBackend): real mode skips capped
+// images at pop time, virtual mode models the wait as a delayed start.
 // Admission decides whether a ticket runs; placement decides where.
 //
 // The scheduler is also the drive shaft of true Wasp+CA (Fig 8): when
@@ -59,6 +64,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -147,6 +153,17 @@ type Ticket struct {
 	// enqueue; virtual mode recomputes at each placement decision so
 	// load-sensitive policies see decision-time state.
 	elig []float64
+
+	// prefBE is the backend real-mode dispatch steers this ticket toward
+	// (weight-aware popping): a worker on another backend leaves the
+	// ticket alone while the preferred backend still has an idle worker.
+	// -1 means no steering — eligible workers race freely.
+	prefBE int
+
+	// servedBE is the backend index of the worker that served the
+	// ticket, stamped by exec; the per-backend admission quota releases
+	// against it on completion.
+	servedBE int
 
 	// batch links tickets submitted in one SubmitBatch burst for the
 	// batch completion hook; nil for single submissions.
@@ -251,6 +268,15 @@ type worker struct {
 	runs  atomic.Uint64
 	pname string // platform name (always set; the runtime default when unpinned)
 	beIdx int    // index into the scheduler's backend states
+
+	// lastImage/lastStart/lastDone describe the worker's most recent run
+	// in virtual mode (guarded by mu): workers serialize, so the triple
+	// is exactly "what is this worker running at time T" for any T the
+	// event-driven dispatcher asks about — the basis of the per-backend
+	// admission quota's virtual-time model. Unused in real mode.
+	lastImage string
+	lastStart uint64
+	lastDone  uint64
 }
 
 // backendState aggregates the fleet's workers per hypervisor backend.
@@ -276,13 +302,18 @@ type Scheduler struct {
 	cleanerDrains atomic.Uint64
 
 	// Multi-backend placement state: worker platform pins, per-backend
-	// aggregates, and the attached policy. imgSvc is the per-image
-	// service EWMA the policies consult (guarded by the dispatch lock of
-	// the scheduler's mode, maintained only while placer != nil).
+	// aggregates, and the attached policy. imgStats is the LRU-bounded
+	// per-image service/entry EWMA store the policies consult (guarded by
+	// the dispatch lock of the scheduler's mode, maintained only while
+	// placer != nil). busyBy counts real-mode workers mid-ticket per
+	// backend (guarded by dmu, maintained only while placer != nil) — the
+	// weight-aware pop consults it to decide when a non-preferred backend
+	// may take over a steered ticket.
 	platforms []vmm.Platform
 	bstates   []*backendState
 	placer    placement.Placer
-	imgSvc    map[string]uint64
+	imgStats  *imgStats
+	busyBy    []int
 
 	// Real-mode dispatch queue: a condition-variable deque instead of a
 	// channel, so a burst enqueues under one lock acquisition with one
@@ -441,7 +472,8 @@ func newScheduler(w *wasp.Wasp, n int, virtual bool, opts ...Option) *Scheduler 
 		wk.beIdx = idx
 	}
 	if s.placer != nil {
-		s.imgSvc = make(map[string]uint64)
+		s.imgStats = newImgStats(0)
+		s.busyBy = make([]int, len(s.bstates))
 	}
 	if cs := w.Cleaners(); len(cs) > 0 {
 		s.cleaners = cs
@@ -558,6 +590,7 @@ func (s *Scheduler) newTicket(arrival uint64, hasArrival bool, img *guest.Image,
 // Image submissions stay as (img, cfg) rather than a closure so the
 // serving worker can run them on its own pinned backend.
 func (s *Scheduler) initTicket(t *Ticket, img *guest.Image, cfg wasp.RunConfig, fn Task, tag string) {
+	t.prefBE = -1
 	if img != nil {
 		t.img = img
 		t.cfg = cfg
@@ -597,7 +630,8 @@ func (s *Scheduler) placeWeightsLocked(t *Ticket, at uint64, withLoad bool) []fl
 			}
 		}
 	}
-	img := placement.ImageInfo{Name: t.Image, MemBytes: t.memBytes, SvcEWMA: s.imgSvc[t.Image]}
+	svc, entries := s.imgStats.get(t.Image)
+	img := placement.ImageInfo{Name: t.Image, MemBytes: t.memBytes, SvcEWMA: svc, EntriesEWMA: entries}
 	ws := s.placer.Place(img, infos)
 	if len(ws) < len(s.bstates) {
 		return nil // short or nil return: treat as unrestricted
@@ -632,8 +666,50 @@ func (s *Scheduler) noteServiceLocked(t *Ticket, wk *worker) {
 	bs := s.bstates[wk.beIdx]
 	bs.svcEWMA = stats.EWMA(bs.svcEWMA, t.ServiceCycles())
 	if t.Image != "" {
-		s.imgSvc[t.Image] = stats.EWMA(s.imgSvc[t.Image], t.ServiceCycles())
+		var entries uint64
+		if t.res != nil {
+			entries = t.res.Entries
+		}
+		s.imgStats.note(t.Image, t.ServiceCycles(), entries)
 	}
+}
+
+// prefBackendLocked picks the backend real-mode dispatch should steer a
+// ticket toward: the highest-weight eligible backend, but only when its
+// bias advantage over the runner-up is material against the image's own
+// smoothed service time (a quarter of it) — near-ties race freely, so
+// load-balancing policies keep their work-conserving behavior and only
+// decisive cost gaps serialize dispatch onto one backend. Returns -1 for
+// "no steering". Caller holds dmu; placer is attached.
+func (s *Scheduler) prefBackendLocked(t *Ticket) int {
+	if t.elig == nil || len(s.bstates) < 2 {
+		return -1
+	}
+	best, second := -1, -1
+	for i, w := range t.elig {
+		if w <= 0 {
+			continue
+		}
+		switch {
+		case best < 0 || w > t.elig[best]:
+			second, best = best, i
+		case second < 0 || w > t.elig[second]:
+			second = i
+		}
+	}
+	if best < 0 || second < 0 {
+		return -1 // zero or one eligible backend: eligibility already decides
+	}
+	gap := placement.Bias(t.elig[second]) - placement.Bias(t.elig[best])
+	svc, _ := s.imgStats.get(t.Image)
+	minGap := svc / 4
+	if minGap < 1 {
+		minGap = 1
+	}
+	if gap < minGap {
+		return -1
+	}
+	return best
 }
 
 // submitTickets routes a prepared ticket slice into the scheduler. It
@@ -721,6 +797,9 @@ func (s *Scheduler) putTickets(ts []*Ticket) (rejected []*Ticket) {
 			rejected = append(rejected, t)
 			continue
 		}
+		if s.placer != nil {
+			t.prefBE = s.prefBackendLocked(t)
+		}
 		for !s.qclosed && s.queuedN >= s.qcap {
 			// A burst larger than the queue's free space must wake the
 			// workers before sleeping: the usual single wake happens only
@@ -783,10 +862,32 @@ const (
 // the first eligible FIFO entry, or the admission layer's weighted pick
 // across per-image queues restricted to eligible images. With block it
 // waits until a ticket is eligible or the queue is closed and drained;
-// deferred tickets (image at its hard cap) and tickets pinned to other
-// platforms keep the worker waiting until its own work appears.
+// deferred tickets (image at its hard cap), tickets pinned to other
+// platforms, and tickets steered to a preferred backend that still has
+// an idle worker keep the worker waiting until its own work appears.
 func (s *Scheduler) popTicket(wk *worker, block bool) (*Ticket, popResult) {
-	eligible := func(t *Ticket) bool { return eligibleOn(t.elig, wk.beIdx) }
+	eligible := func(t *Ticket) bool {
+		if !eligibleOn(t.elig, wk.beIdx) {
+			return false
+		}
+		// Weight-aware steering: a decisively preferred backend gets
+		// first claim while it has an idle worker; takeover by another
+		// eligible backend is allowed only once the preferred one is
+		// saturated (work conservation over strict preference).
+		if t.prefBE >= 0 && t.prefBE != wk.beIdx &&
+			s.busyBy[t.prefBE] < s.bstates[t.prefBE].workers {
+			return false
+		}
+		// Per-backend admission quota: the image may already hold its
+		// full allotment of this worker's backend.
+		if s.adm != nil && s.adm.pol.MaxPerBackend > 0 && t.Image != "" {
+			if st := s.adm.images[t.Image]; st != nil &&
+				st.inFlightOn(wk.beIdx) >= s.adm.pol.MaxPerBackend {
+				return false
+			}
+		}
+		return true
+	}
 	s.dmu.Lock()
 	defer s.dmu.Unlock()
 	for {
@@ -824,6 +925,19 @@ func (s *Scheduler) popTicket(wk *worker, block bool) (*Ticket, popResult) {
 		if t != nil {
 			s.queuedN--
 			s.depth.Store(int64(s.queuedN))
+			if s.placer != nil {
+				s.busyBy[wk.beIdx]++
+				if s.queuedN > 0 && len(s.bstates) > 1 &&
+					s.busyBy[wk.beIdx] >= s.bstates[wk.beIdx].workers {
+					// This backend just saturated: tickets steered to it
+					// become takeable by the other backends' idle workers,
+					// which may be parked — wake them to re-evaluate.
+					s.notEmpty.Broadcast()
+				}
+			}
+			if s.adm != nil && s.adm.pol.MaxPerBackend > 0 && t.Image != "" {
+				s.adm.state(t.Image).claimBackend(wk.beIdx, len(s.bstates))
+			}
 			s.notFull.Signal()
 			if s.qclosed && s.queuedN == 0 {
 				// Draining just finished: wake workers parked on a backlog
@@ -891,6 +1005,7 @@ func (s *Scheduler) exec(wk *worker, t *Ticket) {
 	}
 	t.Worker = wk.id
 	t.Platform = wk.pname
+	t.servedBE = wk.beIdx
 	if t.img != nil {
 		// Image tickets execute on the serving worker's pinned backend:
 		// its platform's Fig 5 costs, its shell pools, its snapshots.
@@ -899,6 +1014,12 @@ func (s *Scheduler) exec(wk *worker, t *Ticket) {
 		t.res, t.err = t.run(wk.clk)
 	}
 	t.Done = wk.clk.Now()
+	if s.virtual {
+		// Record the run for the virtual-time per-backend quota model
+		// (exact per worker: workers serialize, and virtual dispatch is
+		// synchronous under mu).
+		wk.lastImage, wk.lastStart, wk.lastDone = t.Image, t.Start, t.Done
+	}
 	wk.runs.Add(1)
 	s.completed.Add(1)
 	s.bstates[wk.beIdx].completed.Add(1)
@@ -914,6 +1035,7 @@ func (s *Scheduler) exec(wk *worker, t *Ticket) {
 		} else {
 			s.dmu.Lock()
 			s.noteServiceLocked(t, wk)
+			s.busyBy[wk.beIdx]--
 			s.dmu.Unlock()
 		}
 	}
@@ -944,11 +1066,13 @@ func (s *Scheduler) noteDone(t *Ticket) {
 	}
 	s.dmu.Lock()
 	s.adm.complete(t)
-	if s.adm.pol.MaxInFlight > 0 && !s.adm.pol.RejectOverflow {
-		// A deferred image may have a free slot now. Only deferral-mode
-		// caps can park a worker waiting on a completion; broadcasting
-		// for other policies would just wake every idle worker per
-		// ticket for nothing.
+	if (s.adm.pol.MaxInFlight > 0 && !s.adm.pol.RejectOverflow) ||
+		s.adm.pol.MaxPerBackend > 0 {
+		// A deferred image may have a free slot now — under the global
+		// cap, or on the completing ticket's backend under the
+		// per-backend quota. Only these caps can park a worker waiting
+		// on a completion; broadcasting for other policies would just
+		// wake every idle worker per ticket for nothing.
 		s.notEmpty.Broadcast()
 	}
 	s.dmu.Unlock()
@@ -1044,8 +1168,12 @@ func (s *Scheduler) placeVirtual(t *Ticket) {
 			busy++
 		}
 	}
+	quota := 0
+	if s.adm != nil && s.adm.pol.MaxPerBackend > 0 && t.Image != "" {
+		quota = s.adm.pol.MaxPerBackend
+	}
 	var best *worker
-	if s.placer == nil {
+	if s.placer == nil && quota == 0 {
 		best = s.earliestFree()
 	} else {
 		// Decision-time weights: load-sensitive policies see the busy
@@ -1054,14 +1182,14 @@ func (s *Scheduler) placeVirtual(t *Ticket) {
 		// hold (t.elig); the event-driven batch path reaches here at a
 		// later decision time and computes fresh.
 		weights := t.elig
-		if weights == nil {
+		if weights == nil && s.placer != nil {
 			weights = s.placeWeightsLocked(t, t.Arrival, true)
 		}
 		eff := t.Arrival
 		if t.notBefore > eff {
 			eff = t.notBefore
 		}
-		var bestScore uint64
+		var bestScore, bestStart uint64
 		for _, wk := range s.workers {
 			if !eligibleOn(weights, wk.beIdx) {
 				continue
@@ -1070,13 +1198,16 @@ func (s *Scheduler) placeVirtual(t *Ticket) {
 			if start < eff {
 				start = eff
 			}
+			if quota > 0 {
+				start = s.quotaStartLocked(t.Image, wk, start, quota)
+			}
 			score := start
 			if weights != nil {
 				score += placement.Bias(weights[wk.beIdx])
 			}
 			if best == nil || score < bestScore ||
 				(score == bestScore && wk.clk.Now() < best.clk.Now()) {
-				best, bestScore = wk, score
+				best, bestScore, bestStart = wk, score, start
 			}
 		}
 		if best == nil {
@@ -1084,6 +1215,11 @@ func (s *Scheduler) placeVirtual(t *Ticket) {
 			// flips to all-ineligible mid-flight still must not lose the
 			// ticket — fall back to earliest-free.
 			best = s.earliestFree()
+		} else if quota > 0 && bestStart > t.notBefore {
+			// The per-backend quota delays service past the arrival (and
+			// any admission deferral): model the wait as a later effective
+			// start, exactly like the global hard cap does.
+			t.notBefore = bestStart
 		}
 	}
 	t.DepthAtSubmit = busy
@@ -1096,6 +1232,34 @@ func (s *Scheduler) placeVirtual(t *Ticket) {
 		// ticket released, no earlier than the ticket's completion.
 		s.cleanerDrains.Add(uint64(c.DrainAt(t.Done)))
 	}
+}
+
+// quotaStartLocked returns the earliest virtual time >= start at which
+// the per-backend admission quota admits one more run of image img on
+// wk's backend: enough of the same-image runs in flight on the
+// backend's other workers at `start` must complete first. Each worker's
+// last-run record is exact for "what is this worker running at T" —
+// workers serialize — but says nothing about dispatches not yet
+// decided, so for out-of-order arrivals the quota is a best-effort
+// lower bound rather than a global invariant (the same relaxation the
+// global cap's pruned span history accepts). Caller holds mu.
+func (s *Scheduler) quotaStartLocked(img string, wk *worker, start uint64, quota int) uint64 {
+	var dones []uint64
+	for _, w2 := range s.workers {
+		if w2 == wk || w2.beIdx != wk.beIdx || w2.lastImage != img {
+			continue
+		}
+		if w2.lastStart <= start && start < w2.lastDone {
+			dones = append(dones, w2.lastDone)
+		}
+	}
+	if len(dones) < quota {
+		return start
+	}
+	sort.Slice(dones, func(i, j int) bool { return dones[i] < dones[j] })
+	// The slot frees at the completion that brings the backend's
+	// same-image in-flight count below the quota.
+	return dones[len(dones)-quota]
 }
 
 // dispatchVirtualWeighted dispatches a whole batch event-driven: at

@@ -51,6 +51,27 @@ func (HyperV) EntryCost() uint64 { return cycles.HVRunEntry }
 // ExitCost implements Platform.
 func (HyperV) ExitCost() uint64 { return cycles.HVExit }
 
+// Paravirt is a synthetic paravirtualized backend with the Fig 5
+// trade-off inverted: context construction pre-builds shared rings and
+// pinned mappings (expensive create), and guest entry/exit then rides a
+// doorbell instead of a full world switch (cheap transitions). It
+// exists so the placement cost model faces a genuinely non-dominated
+// choice — KVM wins quiet images, Paravirt wins chatty ones — instead
+// of a strictly-ordered KVM/Hyper-V pair.
+type Paravirt struct{}
+
+// Name implements Platform.
+func (Paravirt) Name() string { return "paravirt" }
+
+// CreateCost implements Platform.
+func (Paravirt) CreateCost() uint64 { return cycles.PVCreateCtx }
+
+// EntryCost implements Platform.
+func (Paravirt) EntryCost() uint64 { return cycles.PVRunEntry }
+
+// ExitCost implements Platform.
+func (Paravirt) ExitCost() uint64 { return cycles.PVExit }
+
 // DefaultPlatform is the backend Create uses.
 var DefaultPlatform Platform = KVM{}
 
@@ -62,6 +83,8 @@ func ByName(name string) (Platform, bool) {
 		return KVM{}, true
 	case HyperV{}.Name():
 		return HyperV{}, true
+	case Paravirt{}.Name():
+		return Paravirt{}, true
 	}
 	return nil, false
 }

@@ -109,6 +109,17 @@ func (w *Wasp) exportSnapshot(be *backend, name string, deltaOnly bool) ([]byte,
 		return nil, fmt.Errorf("wasp: no snapshot for image %q", name)
 	}
 	defer snap.release()
+	return w.exportRetainedSnapshot(be, name, snap, deltaOnly)
+}
+
+// exportRetainedSnapshot serializes a snapshot the caller already holds
+// a retain on (and keeps holding — the caller releases). Callers that
+// make decisions about the snapshot before exporting it (MigrateSnapshot
+// inspects the layer parentage to pick the wire form) must hand their
+// retained handle down here rather than let the export re-fetch by name:
+// a re-fetch reopens the window in which a concurrent DropSnapshot +
+// re-capture swaps the snapshot between the decision and the export.
+func (w *Wasp) exportRetainedSnapshot(be *backend, name string, snap *snapshot, deltaOnly bool) ([]byte, error) {
 	if snap.native != nil {
 		return nil, fmt.Errorf("wasp: snapshot for %q carries native host state and is not portable", name)
 	}
@@ -312,6 +323,12 @@ func (w *Wasp) MigrateSnapshot(name, fromPlatform, toPlatform string) (shipped i
 	if snap == nil {
 		return 0, false, fmt.Errorf("wasp: no snapshot for image %q on %s", name, src.platform.Name())
 	}
+	// One retain covers the deltaOnly decision AND the export: releasing
+	// before the export and re-fetching by name would let a concurrent
+	// DropSnapshot + re-capture swap the snapshot in between, so the wire
+	// form chosen here could disagree with the snapshot actually shipped
+	// (stale base digest → spurious full ship or failed graft).
+	defer snap.release()
 	// Ship the delta iff the snapshot has a base and the target holds a
 	// matching copy of it.
 	if snap.contentKey != "" && snap.layer != nil && snap.layer.Parent() != nil {
@@ -320,8 +337,10 @@ func (w *Wasp) MigrateSnapshot(name, fromPlatform, toPlatform string) (shipped i
 			deltaOnly = true
 		}
 	}
-	snap.release()
-	blob, err := w.exportSnapshot(src, name, deltaOnly)
+	if gate := migrateExportGate; gate != nil {
+		gate()
+	}
+	blob, err := w.exportRetainedSnapshot(src, name, snap, deltaOnly)
 	if err != nil {
 		return 0, false, err
 	}
@@ -330,6 +349,12 @@ func (w *Wasp) MigrateSnapshot(name, fromPlatform, toPlatform string) (shipped i
 	}
 	return len(blob), deltaOnly, nil
 }
+
+// migrateExportGate, when non-nil, runs between MigrateSnapshot's wire-form
+// decision and the export — a test seam that lets the regression suite park
+// a concurrent DropSnapshot/re-capture exactly inside the window the retain
+// protocol must cover. Always nil outside tests.
+var migrateExportGate func()
 
 func allZero(b []byte) bool {
 	for _, v := range b {

@@ -121,6 +121,38 @@ func TestPlacementDifferentialLegacyInterp(t *testing.T) {
 	}
 }
 
+// The Migrating wrapper is stateful (pins, streaks, an LRU), so it does
+// not live in the shared placementPolicies map — each run gets a fresh
+// instance over a fresh fleet, and the sequential decision stream must
+// still reproduce bit-identically, including the committed homes and
+// migration count.
+func TestMigratingPlacementDeterministic(t *testing.T) {
+	run := func(legacy bool) ([]ticketKey, uint64, uint64) {
+		pl := placement.NewMigrating(placement.CostModel{}, 3)
+		keys, makespan := runPlacementOnce(t, pl, legacy)
+		return keys, makespan, pl.Migrations()
+	}
+	a, ma, fa := run(false)
+	b, mb, fb := run(false)
+	if ma != mb || fa != fb {
+		t.Fatalf("makespan/flips diverged across runs: %d/%d vs %d/%d", ma, fa, mb, fb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ticket %d diverged:\n run1: %+v\n run2: %+v", i, a[i], b[i])
+		}
+	}
+	l, ml, fl := run(true)
+	if ma != ml || fa != fl {
+		t.Fatalf("cached/legacy divergence: makespan %d/%d, flips %d/%d", ma, ml, fa, fl)
+	}
+	for i := range a {
+		if a[i] != l[i] {
+			t.Fatalf("ticket %d cached/legacy divergence:\n cached: %+v\n legacy: %+v", i, a[i], l[i])
+		}
+	}
+}
+
 // Static pinning is an invariant, not a preference: every short ran on
 // KVM, every long on Hyper-V, across the whole trace.
 func TestPlacementStaticPinInvariant(t *testing.T) {
@@ -136,4 +168,3 @@ func TestPlacementStaticPinInvariant(t *testing.T) {
 		}
 	}
 }
-
