@@ -8,21 +8,26 @@
 //	virtine-bench -exp fig11      # one experiment
 //	virtine-bench -trials 1000    # trial count (paper default: 1000)
 //	virtine-bench -csv            # CSV output
+//	virtine-bench -cpuprofile cpu.pprof -exp cluster   # profile a run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig2, tab1, fig3, fig4, fig8, tab2, fig11, fig12, fig13, fig14, fig15, sched, wasp-ca, admission, interp, placement, snapshot, rebalance, sec6.4); empty = all")
+	exp := flag.String("exp", "", "experiment id (fig2, tab1, fig3, fig4, fig8, tab2, fig11, fig12, fig13, fig14, fig15, sched, wasp-ca, admission, interp, placement, snapshot, rebalance, cluster, sec6.4); empty = all")
 	trials := flag.Int("trials", 200, "trials per measurement (clamped per experiment)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file for the selected run")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *list {
@@ -32,6 +37,36 @@ func main() {
 		fmt.Printf("%-8s %s\n", "sec6.4", "§6.4: openssl speed aes-128-cbc, native vs virtine")
 		return
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "virtine-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "virtine-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "virtine-bench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "virtine-bench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	run := func(id string, r bench.Runner) {
 		t, err := r(*trials)

@@ -1,0 +1,70 @@
+package sched
+
+import "testing"
+
+// Policy units: the scaling laws are pure functions of the signal, so
+// each rule is pinned directly.
+
+func TestQueueScalePolicy(t *testing.T) {
+	p := QueueScale{TargetP99: 1000, Min: 2, Max: 64}
+	// SLO violation: multiplicative growth.
+	d := p.Scale(AutoSignal{Workers: 8, QueueP99: 5000, Util: 0.9})
+	if d.Workers != 13 {
+		t.Fatalf("p99 breach must grow 8 -> 13 (×3/2+1), got %d", d.Workers)
+	}
+	if d.Prewarm != (13+3)/4 {
+		t.Fatalf("queue policy keeps a quarter standby, got %d", d.Prewarm)
+	}
+	// Quiet and idle: quarter decay.
+	d = p.Scale(AutoSignal{Workers: 8, QueueP99: 100, Util: 0.2})
+	if d.Workers != 6 {
+		t.Fatalf("quiet fleet must decay 8 -> 6, got %d", d.Workers)
+	}
+	// Quiet but busy: hold.
+	d = p.Scale(AutoSignal{Workers: 8, QueueP99: 100, Util: 0.8})
+	if d.Workers != 8 {
+		t.Fatalf("busy fleet must hold at 8, got %d", d.Workers)
+	}
+	// Clamps.
+	if d = p.Scale(AutoSignal{Workers: 60, QueueP99: 9999}); d.Workers != 64 {
+		t.Fatalf("growth must clamp at Max=64, got %d", d.Workers)
+	}
+	if d = p.Scale(AutoSignal{Workers: 2, QueueP99: 0, Util: 0}); d.Workers != 2 {
+		t.Fatalf("decay must clamp at Min=2, got %d", d.Workers)
+	}
+}
+
+func TestUtilScaleHysteresis(t *testing.T) {
+	p := &UtilScale{Target: 0.5, Min: 1, Max: 128, Patience: 2}
+	// Demand for ~16 workers at 50% target: 8 workers' worth of work.
+	busy := AutoSignal{Workers: 4, Arrivals: 800, SvcEWMA: 10_000, Epoch: 1_000_000}
+	d := p.Scale(busy)
+	if d.Workers != 17 {
+		t.Fatalf("rate-based growth must be immediate: want 17, got %d", d.Workers)
+	}
+	// Demand drops: the first low epoch holds (patience), the second shrinks.
+	idle := AutoSignal{Workers: 17, Arrivals: 100, SvcEWMA: 10_000, Epoch: 1_000_000}
+	if d = p.Scale(idle); d.Workers != 17 {
+		t.Fatalf("first low epoch must hold at 17, got %d", d.Workers)
+	}
+	if d = p.Scale(idle); d.Workers == 17 {
+		t.Fatalf("second low epoch must shrink below 17")
+	}
+	// Standby covers the gap back to the demand peak, capped at half.
+	if d.Prewarm == 0 {
+		t.Fatalf("post-shrink standby must be nonzero (peak was 17)")
+	}
+	if d.Prewarm > d.Workers/2+1 {
+		t.Fatalf("standby %d exceeds half the fleet %d", d.Prewarm, d.Workers)
+	}
+}
+
+func TestFixedScale(t *testing.T) {
+	p := FixedScale{N: 7}
+	if d := p.Scale(AutoSignal{Workers: 3, QueueP99: 1 << 40}); d.Workers != 7 || d.Prewarm != 0 {
+		t.Fatalf("fixed policy must always return 7/0, got %+v", d)
+	}
+	if p.Name() != "fixed-7" {
+		t.Fatalf("name: %s", p.Name())
+	}
+}

@@ -333,6 +333,21 @@ type Scheduler struct {
 	// WithAdmission. Real mode guards it with dmu, virtual mode with mu.
 	adm *admission
 
+	// O(log n) virtual dispatch state (guarded by mu; nil in real mode
+	// or under WithLinearDispatch): one order-statistic treap of active
+	// workers per backend, and the per-(backend, image) completion
+	// records behind the admission quota's O(quota) start query.
+	// linear selects the reference linear-scan dispatcher instead —
+	// the differential seam the heap property suite runs against.
+	linear    bool
+	vtrees    []*otree
+	quotaRecs []map[string][]quotaRec
+
+	// nActive is the active worker-pool width: workers[:nActive] take
+	// work, the rest are parked by SetVirtualWorkers (virtual-mode
+	// autoscaling). Always len(workers) in real mode.
+	nActive int
+
 	wg sync.WaitGroup
 
 	mu      sync.Mutex   // virtual-mode dispatch
@@ -413,6 +428,17 @@ func WithPlacer(p placement.Placer) Option {
 	return func(s *Scheduler) { s.placer = p }
 }
 
+// WithLinearDispatch selects the reference linear-scan virtual
+// dispatcher instead of the O(log n) tree/heap core. The two produce
+// bit-identical schedules — that equivalence is the heap core's
+// correctness contract, enforced by the property suite in
+// dispatch_prop_test.go — so the only reason to turn this on is to be
+// the baseline in that differential test or a scaling measurement.
+// Virtual mode only; real mode ignores it.
+func WithLinearDispatch(on bool) Option {
+	return func(s *Scheduler) { s.linear = on }
+}
+
 // New builds a real-mode scheduler: n worker goroutines, each with its
 // own virtual clock, draining a bounded queue.
 func New(w *wasp.Wasp, n int, opts ...Option) *Scheduler {
@@ -471,6 +497,19 @@ func newScheduler(w *wasp.Wasp, n int, virtual bool, opts ...Option) *Scheduler 
 		wk.pname = name
 		wk.beIdx = idx
 	}
+	s.nActive = len(s.workers)
+	if virtual && !s.linear {
+		s.vtrees = make([]*otree, len(s.bstates))
+		for i := range s.vtrees {
+			s.vtrees[i] = &otree{}
+		}
+		for _, wk := range s.workers {
+			s.vtrees[wk.beIdx].insert(wk)
+		}
+		if s.adm != nil && s.adm.pol.MaxPerBackend > 0 {
+			s.quotaRecs = make([]map[string][]quotaRec, len(s.bstates))
+		}
+	}
 	if s.placer != nil {
 		s.imgStats = newImgStats(0)
 		s.busyBy = make([]int, len(s.bstates))
@@ -490,8 +529,11 @@ func newScheduler(w *wasp.Wasp, n int, virtual bool, opts ...Option) *Scheduler 
 	return s
 }
 
-// NumWorkers reports the worker-pool width.
-func (s *Scheduler) NumWorkers() int { return len(s.workers) }
+// NumWorkers reports the active worker-pool width. This is the fleet
+// size except while virtual-mode autoscaling has parked a suffix of the
+// fleet (SetVirtualWorkers); parked workers keep their clocks and run
+// counts but take no work.
+func (s *Scheduler) NumWorkers() int { return s.nActive }
 
 // Wasp exposes the underlying runtime.
 func (s *Scheduler) Wasp() *wasp.Wasp { return s.w }
@@ -624,9 +666,15 @@ func (s *Scheduler) placeWeightsLocked(t *Ticket, at uint64, withLoad bool) []fl
 		}
 	}
 	if withLoad {
-		for _, wk := range s.workers {
-			if wk.clk.Now() > at {
-				infos[wk.beIdx].Busy++
+		if s.vtrees != nil {
+			for i, tr := range s.vtrees {
+				infos[i].Busy = tr.size() - tr.countLE(at)
+			}
+		} else {
+			for _, wk := range s.workers[:s.nActive] {
+				if wk.clk.Now() > at {
+					infos[wk.beIdx].Busy++
+				}
 			}
 		}
 	}
@@ -1141,16 +1189,36 @@ func (s *Scheduler) dispatchVirtualOne(t *Ticket) bool {
 	return true
 }
 
-// earliestFree returns the worker with the lowest clock, ties toward
-// the lowest index — the classic deterministic selection rule.
+// earliestFree returns the active worker with the lowest clock, ties
+// toward the lowest index — the classic deterministic selection rule.
+// O(log n) off the per-backend trees; the linear reference scans.
 func (s *Scheduler) earliestFree() *worker {
+	if s.vtrees != nil {
+		var best *worker
+		for _, tr := range s.vtrees {
+			wk := tr.min()
+			if wk == nil {
+				continue
+			}
+			if best == nil || okeyLess(wk.clk.Now(), wk.id, best.clk.Now(), best.id) {
+				best = wk
+			}
+		}
+		return best
+	}
 	best := s.workers[0]
-	for _, wk := range s.workers {
+	for _, wk := range s.workers[:s.nActive] {
 		if wk.clk.Now() < best.clk.Now() {
 			best = wk
 		}
 	}
 	return best
+}
+
+// minClockLocked is the earliest-free worker's clock — the event-driven
+// batch dispatcher's time base. Caller holds mu.
+func (s *Scheduler) minClockLocked() uint64 {
+	return s.earliestFree().clk.Now()
 }
 
 // placeVirtual assigns the ticket to a worker in virtual time and
@@ -1163,9 +1231,15 @@ func (s *Scheduler) earliestFree() *worker {
 // lowest worker index, keeping runs reproducible. Caller holds mu.
 func (s *Scheduler) placeVirtual(t *Ticket) {
 	busy := 0
-	for _, wk := range s.workers {
-		if wk.clk.Now() > t.Arrival {
-			busy++
+	if s.vtrees != nil {
+		for _, tr := range s.vtrees {
+			busy += tr.size() - tr.countLE(t.Arrival)
+		}
+	} else {
+		for _, wk := range s.workers[:s.nActive] {
+			if wk.clk.Now() > t.Arrival {
+				busy++
+			}
 		}
 	}
 	quota := 0
@@ -1189,26 +1263,11 @@ func (s *Scheduler) placeVirtual(t *Ticket) {
 		if t.notBefore > eff {
 			eff = t.notBefore
 		}
-		var bestScore, bestStart uint64
-		for _, wk := range s.workers {
-			if !eligibleOn(weights, wk.beIdx) {
-				continue
-			}
-			start := wk.clk.Now()
-			if start < eff {
-				start = eff
-			}
-			if quota > 0 {
-				start = s.quotaStartLocked(t.Image, wk, start, quota)
-			}
-			score := start
-			if weights != nil {
-				score += placement.Bias(weights[wk.beIdx])
-			}
-			if best == nil || score < bestScore ||
-				(score == bestScore && wk.clk.Now() < best.clk.Now()) {
-				best, bestScore, bestStart = wk, score, start
-			}
+		var bestStart uint64
+		if s.vtrees != nil {
+			best, bestStart = s.pickWorkerTree(t, weights, eff, quota)
+		} else {
+			best, bestStart = s.pickWorkerLinear(t, weights, eff, quota)
 		}
 		if best == nil {
 			// Eligibility was checked at dispatch entry; a placer that
@@ -1226,12 +1285,104 @@ func (s *Scheduler) placeVirtual(t *Ticket) {
 	if d := int64(busy); d > s.peakDepth.Load() {
 		s.peakDepth.Store(d)
 	}
-	s.exec(best, t)
+	s.execVirtual(best, t)
 	for _, c := range s.cleaners {
 		// The dedicated virtual cleaner cores pick up the shells this
 		// ticket released, no earlier than the ticket's completion.
 		s.cleanerDrains.Add(uint64(c.DrainAt(t.Done)))
 	}
+}
+
+// execVirtual runs exec with the tree and quota-record bookkeeping a
+// clock change requires: the worker leaves its tree under the old key
+// and returns under the new one, and its previous run's quota record is
+// replaced by the new run's. Caller holds mu.
+func (s *Scheduler) execVirtual(wk *worker, t *Ticket) {
+	if s.vtrees == nil {
+		s.exec(wk, t)
+		return
+	}
+	tr := s.vtrees[wk.beIdx]
+	tr.remove(wk)
+	if s.quotaRecs != nil && wk.lastImage != "" {
+		s.quotaRecRemove(wk.beIdx, wk.lastImage, wk.lastDone, wk.id)
+	}
+	s.exec(wk, t)
+	tr.insert(wk)
+	if s.quotaRecs != nil && wk.lastImage != "" {
+		s.quotaRecAdd(wk.beIdx, wk.lastImage, wk.lastStart, wk.lastDone, wk.id)
+	}
+}
+
+// pickWorkerLinear is the reference candidate scan: every active worker
+// on an eligible backend, scored by quota-adjusted earliest start plus
+// placement bias; ties toward the earlier clock, then the lower id
+// (iteration order).
+func (s *Scheduler) pickWorkerLinear(t *Ticket, weights []float64, eff uint64, quota int) (*worker, uint64) {
+	var best *worker
+	var bestScore, bestStart uint64
+	for _, wk := range s.workers[:s.nActive] {
+		if !eligibleOn(weights, wk.beIdx) {
+			continue
+		}
+		start := wk.clk.Now()
+		if start < eff {
+			start = eff
+		}
+		if quota > 0 {
+			start = s.quotaStartLocked(t.Image, wk, start, quota)
+		}
+		score := start
+		if weights != nil {
+			score += placement.Bias(weights[wk.beIdx])
+		}
+		if best == nil || score < bestScore ||
+			(score == bestScore && wk.clk.Now() < best.clk.Now()) {
+			best, bestScore, bestStart = wk, score, start
+		}
+	}
+	return best, bestStart
+}
+
+// pickWorkerTree selects the same worker as pickWorkerLinear from the
+// per-backend trees' minima alone. Within one backend the score —
+// max(clock, eff) lifted by the quota and biased by the backend weight
+// — is nondecreasing in the worker clock (the quota lift is a
+// backend-level threshold: any start below the quota-th outstanding
+// completion maps to that same completion), and score ties resolve
+// toward the earlier (clock, id), which is the tree's own key order. So
+// each backend's best candidate is exactly its tree minimum, and the
+// fleet winner is the min of one candidate per eligible backend by
+// (score, clock, id) — the linear scan's iteration-order tie-break made
+// explicit.
+func (s *Scheduler) pickWorkerTree(t *Ticket, weights []float64, eff uint64, quota int) (*worker, uint64) {
+	var best *worker
+	var bestScore, bestStart uint64
+	for be, tr := range s.vtrees {
+		if !eligibleOn(weights, be) {
+			continue
+		}
+		wk := tr.min()
+		if wk == nil {
+			continue
+		}
+		start := wk.clk.Now()
+		if start < eff {
+			start = eff
+		}
+		if quota > 0 {
+			start = s.quotaStartRecs(t.Image, be, start, quota)
+		}
+		score := start
+		if weights != nil {
+			score += placement.Bias(weights[be])
+		}
+		if best == nil || score < bestScore ||
+			(score == bestScore && okeyLess(wk.clk.Now(), wk.id, best.clk.Now(), best.id)) {
+			best, bestScore, bestStart = wk, score, start
+		}
+	}
+	return best, bestStart
 }
 
 // quotaStartLocked returns the earliest virtual time >= start at which
@@ -1245,7 +1396,7 @@ func (s *Scheduler) placeVirtual(t *Ticket) {
 // global cap's pruned span history accepts). Caller holds mu.
 func (s *Scheduler) quotaStartLocked(img string, wk *worker, start uint64, quota int) uint64 {
 	var dones []uint64
-	for _, w2 := range s.workers {
+	for _, w2 := range s.workers[:s.nActive] {
 		if w2 == wk || w2.beIdx != wk.beIdx || w2.lastImage != img {
 			continue
 		}
@@ -1270,15 +1421,25 @@ func (s *Scheduler) quotaStartLocked(img string, wk *worker, start uint64, quota
 // — exactly what the real-mode per-image queues do, made deterministic.
 // Hard caps apply at T: RejectOverflow rejects a backlogged ticket
 // whose image is saturated at its arrival; deferred images leave their
-// tickets in the backlog until a completion frees a slot. Each dispatch
-// re-scans the pending slice, so the loop is O(n²) in batch size —
-// fine for the experiment-scale traces it serves (the span history,
-// the actual quadratic risk, is pruned); replace the scan with
-// per-image FIFOs under a pass-ordered heap before feeding it
-// 100k-ticket traces. Caller holds mu. Returns the rejected tickets.
+// tickets in the backlog until a completion frees a slot. The heap core
+// runs each step in O(log n); the linear reference re-scans pending per
+// step. Caller holds mu. Returns the rejected tickets.
 func (s *Scheduler) dispatchVirtualWeighted(ts []*Ticket) (rejected []*Ticket) {
+	batch, rejected := s.admitBatchLocked(ts)
+	if s.linear {
+		return append(rejected, s.dispatchWeightedLinear(batch)...)
+	}
+	return append(rejected, s.dispatchWeightedHeap(batch)...)
+}
+
+// admitBatchLocked validates a weighted batch in submission order:
+// nil tasks and placement-ineligible tickets are rejected up front
+// (the placer sees each ticket once here, at its arrival, in
+// submission order — stateful policies depend on that), the rest are
+// counted submitted. Caller holds mu.
+func (s *Scheduler) admitBatchLocked(ts []*Ticket) (batch, rejected []*Ticket) {
 	a := s.adm
-	pending := make([]*Ticket, 0, len(ts))
+	batch = make([]*Ticket, 0, len(ts))
 	for _, t := range ts {
 		if t.run == nil && t.img == nil {
 			t.err = errNilTask
@@ -1293,18 +1454,214 @@ func (s *Scheduler) dispatchVirtualWeighted(ts []*Ticket) (rejected []*Ticket) {
 			continue
 		}
 		a.state(t.Image).submitted++
-		pending = append(pending, t)
+		batch = append(batch, t)
 	}
+	return batch, rejected
+}
+
+// dispatchWeightedHeap is the O(log n) event core. Per decision step:
+// the time base T comes from the per-backend worker trees, the
+// earliest outstanding arrival from a lazy arrival heap, the backlog
+// lives in per-image min-heaps of submission indices (the
+// "first-submitted per image" rule survives out-of-order arrivals),
+// and the weighted fair pick pops the minimum (pass, name) from a
+// pass-ordered image heap. Start-time-fair activation happens on pop:
+// an uncapped image surfacing with a stale pass is raised to the
+// global virtual time and reinserted, so by the time a winner emerges
+// every contender has been normalized — exactly the linear loop's
+// activate-everyone-then-scan. Capped images are set aside without
+// activation and reinserted after the step, and RejectOverflow purges
+// run at window entry plus after each dispatch of the same image (the
+// only moments an image's span set changes). Caller holds mu.
+func (s *Scheduler) dispatchWeightedHeap(batch []*Ticket) (rejected []*Ticket) {
+	a := s.adm
+	// Arrival-ordered event queue over the batch: stable sort, so equal
+	// arrivals enter the window in submission order.
+	order := make([]int, len(batch))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return batch[order[i]].Arrival < batch[order[j]].Arrival
+	})
+	rejectCap := a.pol.MaxInFlight > 0 && a.pol.RejectOverflow
+	deferCap := a.pol.MaxInFlight > 0 && !a.pol.RejectOverflow
+	var (
+		qpos    int
+		winN    int
+		gone    = make([]bool, len(batch))
+		arr     arrHeap
+		iheap   imgHeap
+		windows = make(map[string]*imgWindow, 8)
+	)
+	var timeFloor uint64
+	for winN > 0 || qpos < len(order) {
+		T := s.minClockLocked()
+		if T < timeFloor {
+			T = timeFloor
+		}
+		// minArr: the earliest outstanding arrival. Window tickets all
+		// arrived at or before an earlier T, so when the window is
+		// nonempty its lazy-heap minimum is the global minimum; otherwise
+		// the event queue's head is.
+		var minArr uint64
+		if winN > 0 {
+			minArr = arr.min(gone)
+		} else {
+			minArr = batch[order[qpos]].Arrival
+		}
+		if minArr > T {
+			T = minArr
+		}
+
+		// Ingest every arrival at or before T. Hard-cap rejection happens
+		// here, when a ticket enters the decision window: its image
+		// saturated at its arrival time.
+		for qpos < len(order) && batch[order[qpos]].Arrival <= T {
+			idx := order[qpos]
+			qpos++
+			t := batch[idx]
+			st := a.state(t.Image)
+			if rejectCap && st.inFlightAt(t.Arrival) >= a.pol.MaxInFlight {
+				st.rejected++
+				t.err = ErrAdmission
+				rejected = append(rejected, t)
+				gone[idx] = true
+				continue
+			}
+			iw := windows[t.Image]
+			if iw == nil {
+				iw = &imgWindow{st: st}
+				windows[t.Image] = iw
+			}
+			iw.push(idx)
+			if !iw.inHeap {
+				iheap.push(iw)
+			}
+			arr.push(arrEntry{arrival: t.Arrival, idx: idx})
+			winN++
+		}
+		if winN == 0 {
+			continue // every entrant was rejected; recompute T off the queue
+		}
+
+		// Weighted pick: pop-min (pass, name). The deferral-cap check is
+		// memoized per image for this step — inFlightAt scans the image's
+		// completion history.
+		var capped map[*imageState]bool
+		atCap := func(st *imageState) bool {
+			if !deferCap {
+				return false
+			}
+			if capped == nil {
+				capped = make(map[*imageState]bool)
+			}
+			c, ok := capped[st]
+			if !ok {
+				c = st.inFlightAt(T) >= a.pol.MaxInFlight
+				capped[st] = c
+			}
+			return c
+		}
+		var win *imgWindow
+		var deferredL []*imgWindow
+		for len(iheap) > 0 {
+			iw := iheap.pop()
+			if atCap(iw.st) {
+				// Deferred without activation, exactly like the linear
+				// loop: a capped image banks no pass normalization.
+				deferredL = append(deferredL, iw)
+				continue
+			}
+			if iw.st.pass < a.vtime {
+				a.activate(iw.st)
+				iheap.push(iw)
+				continue
+			}
+			win = iw
+			break
+		}
+		if win == nil {
+			// Every backlogged image is deferred: advance time to the
+			// next event and retry. That event is the earliest capping
+			// completion beyond T — or the next queued arrival, which
+			// must also bound the jump: an uncapped image's ticket must
+			// never be held past its arrival just because another
+			// image's backlog is waiting out its quota.
+			nextT := ^uint64(0)
+			if qpos < len(order) {
+				nextT = batch[order[qpos]].Arrival
+			}
+			for _, iw := range deferredL {
+				for _, sp := range iw.st.spans {
+					if sp.done > T && sp.done < nextT {
+						nextT = sp.done
+					}
+				}
+				iheap.push(iw)
+			}
+			if nextT == ^uint64(0) {
+				nextT = T + 1 // defensive: cannot recur, caps imply in-flight work
+			}
+			timeFloor = nextT
+			continue
+		}
+		for _, iw := range deferredL {
+			iheap.push(iw)
+		}
+		if win.st.pass > a.vtime {
+			a.vtime = win.st.pass
+		}
+		win.st.pass += a.stride(win.st)
+		bestIdx := win.popMin()
+		best := batch[bestIdx]
+		gone[bestIdx] = true
+		winN--
+		best.notBefore = T
+		// Every outstanding arrival is >= minArr, so completion history
+		// at or below it can never be queried again — compact it before
+		// the history of a long trace grows quadratic.
+		win.st.pruneDone(minArr)
+		s.placeVirtual(best)
+		// The dispatch appended a span to the winner's image — the only
+		// event that can newly saturate it — so re-purge its backlog.
+		if rejectCap && len(win.fifo) > 0 {
+			kept := win.fifo[:0]
+			for _, j := range win.fifo {
+				t2 := batch[j]
+				if win.st.inFlightAt(t2.Arrival) >= a.pol.MaxInFlight {
+					win.st.rejected++
+					t2.err = ErrAdmission
+					rejected = append(rejected, t2)
+					gone[j] = true
+					winN--
+					continue
+				}
+				kept = append(kept, j)
+			}
+			win.fifo = kept
+			win.heapify()
+		}
+		if len(win.fifo) > 0 {
+			iheap.push(win)
+		}
+	}
+	return rejected
+}
+
+// dispatchWeightedLinear is the reference implementation the heap core
+// must match bit for bit (WithLinearDispatch): per decision step it
+// re-scans the whole pending slice for the earliest arrival, the
+// rejection purge, and the weighted pick — O(n²) in batch size, kept
+// verbatim as the differential baseline for the property suite and the
+// cluster bench's speedup row. Caller holds mu.
+func (s *Scheduler) dispatchWeightedLinear(pending []*Ticket) (rejected []*Ticket) {
+	a := s.adm
 	var timeFloor uint64
 	for len(pending) > 0 {
 		// Decision time: earliest-free worker, floored by deferral waits
 		// and by the earliest pending arrival.
-		T := s.workers[0].clk.Now()
-		for _, wk := range s.workers {
-			if wk.clk.Now() < T {
-				T = wk.clk.Now()
-			}
-		}
+		T := s.minClockLocked()
 		if T < timeFloor {
 			T = timeFloor
 		}
@@ -1499,6 +1856,88 @@ func (s *Scheduler) Close() {
 			c.SetDriven(false)
 		}
 	}
+}
+
+// SetVirtualWorkers resizes the active virtual fleet to n workers at
+// virtual time `at` — the autoscaling primitive. Growth reactivates
+// parked workers (or creates new ones, pinned round-robin over the
+// fleet's platforms like the constructor) and advances every
+// (re)activated worker's clock to at least `at`, so new capacity can
+// never serve work before the scaling decision that created it.
+// Shrink parks the highest-id workers first: their clocks and run
+// counts are retained (Makespan and WorkerInfo still see them) but
+// they take no further work and leave the dispatch trees and the quota
+// model. Returns the resulting active width. Virtual mode only —
+// real-mode fleets are goroutines, not clocks — and panics otherwise.
+// Call between submissions, like every other virtual-mode read.
+func (s *Scheduler) SetVirtualWorkers(n int, at uint64) int {
+	if !s.virtual {
+		panic("sched: SetVirtualWorkers is a virtual-mode primitive")
+	}
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.nActive > n {
+		wk := s.workers[s.nActive-1]
+		if s.vtrees != nil {
+			s.vtrees[wk.beIdx].remove(wk)
+			if s.quotaRecs != nil && wk.lastImage != "" {
+				s.quotaRecRemove(wk.beIdx, wk.lastImage, wk.lastDone, wk.id)
+			}
+		}
+		s.bstates[wk.beIdx].workers--
+		s.nActive--
+	}
+	for len(s.workers) < n {
+		i := len(s.workers)
+		p := s.platforms[i%len(s.platforms)]
+		wk := &worker{id: i, clk: cycles.NewClock(), pname: p.Name()}
+		wk.beIdx = s.ensureBackendLocked(p)
+		s.workers = append(s.workers, wk)
+	}
+	for s.nActive < n {
+		wk := s.workers[s.nActive]
+		wk.clk.AdvanceTo(at)
+		if s.vtrees != nil {
+			s.vtrees[wk.beIdx].insert(wk)
+			if s.quotaRecs != nil && wk.lastImage != "" {
+				// A reactivated worker's last run re-enters the quota
+				// model, mirroring the linear reference's active scan.
+				s.quotaRecAdd(wk.beIdx, wk.lastImage, wk.lastStart, wk.lastDone, wk.id)
+			}
+		}
+		s.bstates[wk.beIdx].workers++
+		s.nActive++
+	}
+	return s.nActive
+}
+
+// ensureBackendLocked returns the backend-state index for platform p,
+// registering it if the initial fleet was too small to have pinned a
+// worker there yet. Caller holds mu.
+func (s *Scheduler) ensureBackendLocked(p vmm.Platform) int {
+	name := p.Name()
+	for i, bs := range s.bstates {
+		if bs.platform.Name() == name {
+			return i
+		}
+	}
+	if !s.w.HasPlatform(name) {
+		panic(fmt.Sprintf("sched: worker platform %q is not a backend of this Wasp (use wasp.WithPlatforms)", name))
+	}
+	s.bstates = append(s.bstates, &backendState{platform: p})
+	if s.vtrees != nil {
+		s.vtrees = append(s.vtrees, &otree{})
+	}
+	if s.quotaRecs != nil {
+		s.quotaRecs = append(s.quotaRecs, nil)
+	}
+	if s.busyBy != nil {
+		s.busyBy = append(s.busyBy, 0)
+	}
+	return len(s.bstates) - 1
 }
 
 // Makespan reports the maximum worker-clock value — the virtual time at

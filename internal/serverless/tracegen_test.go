@@ -1,0 +1,99 @@
+package serverless
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cycles"
+)
+
+// The seed contract: same seed, same trace, bit for bit; different
+// seeds, different traces.
+func TestTraceGeneratorSeedContract(t *testing.T) {
+	const F = uint64(cycles.Frequency)
+	svc := ServiceProfile{Base: F / 500, Spread: 0.5}
+	type key struct {
+		Arrival uint64
+		Image   string
+	}
+	project := func(seed uint64) []key {
+		reqs := ClusterMix(seed, 0.5, F)
+		out := make([]key, len(reqs))
+		for i, r := range reqs {
+			out[i] = key{r.Arrival, r.Image}
+		}
+		return out
+	}
+	a, b := project(42), project(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must reproduce the trace bit for bit")
+	}
+	if c := project(43); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds must give different traces")
+	}
+
+	p1 := PoissonTrace(7, "img", 100, F, svc)
+	p2 := PoissonTrace(7, "img", 100, F, svc)
+	if len(p1) == 0 || len(p1) != len(p2) {
+		t.Fatalf("poisson reproducibility: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i].Arrival != p2[i].Arrival {
+			t.Fatalf("poisson arrival %d diverged", i)
+		}
+	}
+}
+
+// Poisson arrivals land near the requested rate, and the heavy-tail
+// service profile actually produces a tail.
+func TestTraceGeneratorShapes(t *testing.T) {
+	const F = uint64(cycles.Frequency)
+	reqs := PoissonTrace(1, "img", 200, 4*F, ServiceProfile{Base: 1000})
+	got := float64(len(reqs)) / 4
+	if got < 150 || got > 250 {
+		t.Fatalf("poisson rate 200/s came out at %.0f/s", got)
+	}
+
+	tail := PoissonTrace(2, "img", 500, 2*F, ServiceProfile{Base: 1000, TailAlpha: 1.2, TailCap: 1_000_000})
+	over := 0
+	for _, r := range tail {
+		// Recover the drawn cost by running the closure on a clock.
+		clk := cycles.NewClock()
+		r.Fn(clk)
+		if clk.Now() >= 10_000 {
+			over++
+		}
+	}
+	if over == 0 {
+		t.Fatal("pareto tail produced no draws >= 10x the base")
+	}
+	if over > len(tail)/2 {
+		t.Fatalf("pareto tail too fat: %d of %d over 10x", over, len(tail))
+	}
+
+	// Diurnal: the busy half of the curve must carry more arrivals than
+	// the quiet half.
+	d := DiurnalTrace(3, "web", 20, 200, 2*F, 2*F, ServiceProfile{Base: 1000})
+	var first, second int
+	for _, r := range d {
+		if r.Arrival < F {
+			first++
+		} else {
+			second++
+		}
+	}
+	if first == 0 || second == 0 || first == second {
+		t.Fatalf("diurnal halves should differ: %d vs %d", first, second)
+	}
+
+	// Flash crowd: a crowd window must be far denser than the background.
+	fc := FlashCrowdTrace(4, "spike", 2, 1, 500, 2*F, ServiceProfile{Base: 1000})
+	if len(fc) < 500 {
+		t.Fatalf("flash crowd lost arrivals: %d", len(fc))
+	}
+	for i := 1; i < len(fc); i++ {
+		if fc[i].Arrival < fc[i-1].Arrival {
+			t.Fatalf("trace must be arrival-sorted at %d", i)
+		}
+	}
+}
