@@ -19,6 +19,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,7 +29,30 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file for the selected run")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	tracePath := flag.String("trace", "", "record the run's flight and write Chrome trace_event JSON to this file (chrome://tracing / Perfetto)")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		// Deterministic stamping: the bench fleets run in virtual time,
+		// and suppressing host timestamps keeps the recorded stream
+		// bit-identical run to run, matching the runners' own gates.
+		tracer = obs.NewTracer(obs.Deterministic(true))
+		tracer.SetEnabled(true)
+		bench.SetTracer(tracer)
+		defer func() {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "virtine-bench: trace: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := obs.WriteChromeTrace(f, tracer); err != nil {
+				fmt.Fprintf(os.Stderr, "virtine-bench: trace: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range bench.Registry {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/cycles"
 	"repro/internal/guest"
 	"repro/internal/hypercall"
+	"repro/internal/obs"
 	"repro/internal/vmm"
 	"repro/internal/wasp"
 )
@@ -32,6 +33,7 @@ func main() {
 	snapshot := flag.Bool("snapshot", false, "enable snapshotting")
 	platform := flag.String("platform", "kvm", `hypervisor backend: "kvm" or "hyper-v" (Fig 5 cost profiles)`)
 	trials := flag.Int("n", 1, "number of invocations")
+	tracePath := flag.String("trace", "", "write the runs' flight as Chrome trace_event JSON to this file, plus a metrics dump to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wasp-run [flags] prog.s")
@@ -64,7 +66,17 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown platform %q (want kvm or hyper-v)", *platform))
 	}
-	w := wasp.New(wasp.WithPlatform(plat))
+	var tracer *obs.Tracer
+	wopts := []wasp.Option{wasp.WithPlatform(plat)}
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		tracer.SetEnabled(true)
+		wopts = append(wopts, wasp.WithTracer(tracer))
+	}
+	w := wasp.New(wopts...)
+	if tracer != nil {
+		w.RegisterMetrics(tracer.Metrics)
+	}
 	for i := 0; i < *trials; i++ {
 		env := hypercall.NewEnv()
 		env.DataIn = []byte(*data)
@@ -89,6 +101,20 @@ func main() {
 		if len(res.DataOut) > 0 {
 			fmt.Printf("  data:   %q\n", res.DataOut)
 		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, tracer); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wasp-run: %d trace events -> %s\n", tracer.EventCount(), *tracePath)
+		tracer.Metrics.WriteText(os.Stderr)
 	}
 }
 

@@ -85,7 +85,7 @@ func Cluster(trials int) (*Table, error) {
 	var fixed64, elastic *serverless.ClusterReport
 	for _, c := range configs {
 		rep, hostMs, err := runTwice(c.pol, serverless.ClusterConfig{
-			Seed: 1, InitialWorkers: c.w0, Trace: mix,
+			Seed: 1, InitialWorkers: c.w0, Trace: mix, Tracer: globalTracer,
 		})
 		if err != nil {
 			return nil, err
@@ -117,6 +117,10 @@ func Cluster(trials int) (*Table, error) {
 	bigTrace := serverless.UniformTrace(2, "api", bigN, F/800_000, serverless.ServiceProfile{Base: F / 1000, Spread: 0.5})
 	bigRep, bigHost, err := runTwice(
 		func() sched.AutoPolicy { return sched.FixedScale{N: bigW} },
+		// The scaling row runs untraced even under -trace: a 1024-lane
+		// flight recorder is ~70 MB of rings, and holding that live
+		// poisons the timing of everything after it. The frontier sweep
+		// above already records every event kind the trace needs.
 		serverless.ClusterConfig{InitialWorkers: bigW, Trace: bigTrace})
 	if err != nil {
 		return nil, err

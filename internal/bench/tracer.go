@@ -1,0 +1,13 @@
+package bench
+
+import "repro/internal/obs"
+
+// globalTracer, when set, is threaded into every simulated fleet the
+// runners build (the cluster frontier's ClusterConfigs), so one CLI
+// flag captures a whole experiment's flight. Benchmarked hot paths see
+// only the disabled-check cost unless the tracer is enabled.
+var globalTracer *obs.Tracer
+
+// SetTracer attaches a flight recorder to subsequent runner
+// invocations; nil detaches. Not synchronized — call before Run.
+func SetTracer(tr *obs.Tracer) { globalTracer = tr }

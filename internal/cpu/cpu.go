@@ -103,6 +103,35 @@ type Flags struct {
 	ZF, SF, CF, OF bool
 }
 
+// TierEvent is one execution-tier transition: a guest block entering the
+// compiled-closure tier (compile) or falling back out of it (deopt).
+// Recorded only under TierTrace; Cycle is the virtual time of the
+// transition and PC the guest IP of the block involved.
+type TierEvent struct {
+	Deopt bool
+	PC    uint64
+	Cycle uint64
+}
+
+// tierLogCap bounds the per-run tier log; a steady-state guest compiles
+// a handful of traces, so the cap only matters for pathological SMC
+// loops, where dropping the tail is preferable to unbounded growth.
+const tierLogCap = 256
+
+// tier appends a transition to the tier log when tracing is on. Callers
+// pass the guest IP of the affected block; the timestamp comes from the
+// CPU's own clock.
+func (c *CPU) tier(deopt bool, pc uint64) {
+	if !c.TierTrace || len(c.TierLog) >= tierLogCap {
+		return
+	}
+	var at uint64
+	if c.Clock != nil {
+		at = c.Clock.Now()
+	}
+	c.TierLog = append(c.TierLog, TierEvent{Deopt: deopt, PC: pc, Cycle: at})
+}
+
 // CPU is one virtual processor.
 type CPU struct {
 	Regs  [isa.NumRegs]uint64
@@ -153,6 +182,15 @@ type CPU struct {
 	// Stats counts decode-cache fusion and compiled-block activity.
 	// Reset zeroes it alongside Retired; Wasp harvests per-run deltas.
 	Stats JITStats
+
+	// TierTrace enables the tier-transition log: when set, each trace
+	// compile and deopt appends a TierEvent to TierLog (bounded at
+	// tierLogCap; overflow is dropped silently — the counters in Stats
+	// stay exact). Batched like the dirty-span log so the guest hot loop
+	// never calls out: the embedder (Wasp's RunOn) drains TierLog into
+	// its tracer at run end and clears both fields before pooling.
+	TierTrace bool
+	TierLog   []TierEvent
 
 	// PairProf, when non-nil, accumulates retired opcode-pair
 	// frequencies keyed prev<<8|cur. It is wired into the legacy Step
@@ -241,15 +279,17 @@ func New(mem []byte, clk *cycles.Clock, entry uint64) *CPU {
 // separately.
 func (c *CPU) Reset(entry uint64) {
 	*c = CPU{
-		Mem:      c.Mem,
-		Clock:    c.Clock,
-		OnStore:  c.OnStore,
-		Legacy:   c.Legacy,
-		NoJIT:    c.NoJIT,
-		PairProf: c.PairProf,
-		IP:       entry,
-		Mode:     isa.Mode16,
-		tlb:      make(map[uint64]uint64),
+		Mem:       c.Mem,
+		Clock:     c.Clock,
+		OnStore:   c.OnStore,
+		Legacy:    c.Legacy,
+		NoJIT:     c.NoJIT,
+		PairProf:  c.PairProf,
+		TierTrace: c.TierTrace,
+		TierLog:   c.TierLog,
+		IP:        entry,
+		Mode:      isa.Mode16,
+		tlb:       make(map[uint64]uint64),
 	}
 	c.Regs[isa.RSP] = uint64(len(c.Mem))
 }

@@ -154,6 +154,7 @@ func (c *CPU) blockAt(pg *codePage, page uint64, off uint32, ip uint64) *cblock 
 	}
 	pg.addBlock(key, blk)
 	c.Stats.BlocksCompiled++
+	c.tier(false, ip)
 	*slot = bcent{phys: phys, anchor: ip, mode: c.Mode, nret: blk.nret, pg: pg, blk: blk}
 	return blk
 }
@@ -207,6 +208,7 @@ func (c *CPU) execChain(blk *cblock, entryIP, page uint64, pg *codePage, pending
 					c.Retired += done
 					c.IP = entryIP + uint64(int64(blk.offEnd[i]))
 					c.Stats.BlockDeopts++
+					c.tier(true, entryIP)
 					return steps + done, nil
 				}
 				done, cont, ex2 := c.blockStop(blk, i, entryIP, pending, ex)
@@ -287,6 +289,7 @@ func (c *CPU) blockStop(blk *cblock, i int, entryIP uint64, pending *uint64, ex 
 		c.Retired += done
 		c.IP = entryIP + uint64(int64(blk.off[i]))
 		c.Stats.BlockDeopts++
+		c.tier(true, entryIP)
 		return done, false, nil
 	}
 	if ex == errDiv0 {

@@ -1,0 +1,20 @@
+package obs
+
+import "testing"
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer(Deterministic(true))
+	tr.SetEnabled(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span(3, KindTicket, "api", uint64(i), uint64(i+100), uint64(i), 5, 2)
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	tr := NewTracer(Deterministic(true))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span(3, KindTicket, "api", uint64(i), uint64(i+100), uint64(i), 5, 2)
+	}
+}

@@ -70,6 +70,7 @@ import (
 
 	"repro/internal/cycles"
 	"repro/internal/guest"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/stats"
 	"repro/internal/vmm"
@@ -134,6 +135,11 @@ type Ticket struct {
 	// service to start (virtual-mode deferred queueing); 0 means
 	// unconstrained.
 	notBefore uint64
+
+	// seq is the ticket's submission sequence number, assigned only
+	// while a tracer is recording — the correlation id tying the
+	// ticket's trace events together across lanes.
+	seq uint64
 
 	// memBytes is the guest-memory size class of an image submission;
 	// 0 for raw tasks. Completed image tickets feed the pool-sizing
@@ -362,6 +368,10 @@ type Scheduler struct {
 	rejected   atomic.Uint64
 	onComplete func(*Ticket)
 	onBatch    func([]*Ticket)
+
+	// tracer is the attached flight recorder (nil or disabled: every
+	// instrumentation site is one nil check + one atomic load).
+	tracer *obs.Tracer
 }
 
 // Option configures a Scheduler.
@@ -426,6 +436,15 @@ func WithWorkerPlatforms(ps ...vmm.Platform) Option {
 // has no eligible backend is rejected with ErrPlacement at submission.
 func WithPlacer(p placement.Placer) Option {
 	return func(s *Scheduler) { s.placer = p }
+}
+
+// WithTracer attaches a flight recorder (internal/obs): the scheduler
+// emits submission, placement/steering, ticket-service, autoscaling and
+// cleaner-drain events into it, and forwards it to the Wasp runtime's
+// own instrumentation sites via the ticket execution path. A nil or
+// disabled tracer costs one atomic load per instrumented operation.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(s *Scheduler) { s.tracer = tr }
 }
 
 // WithLinearDispatch selects the reference linear-scan virtual
@@ -768,7 +787,18 @@ func (s *Scheduler) prefBackendLocked(t *Ticket) int {
 func (s *Scheduler) submitTickets(ts []*Ticket) {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
-	s.submitted.Add(uint64(len(ts)))
+	base := s.submitted.Add(uint64(len(ts))) - uint64(len(ts))
+	if tr := s.tracer; tr.Enabled() {
+		// Sequence numbers correlate a ticket's events across lanes;
+		// one submit event covers the whole burst (not one per ticket —
+		// the hot path's budget is a single emit per burst plus one per
+		// completed ticket).
+		for i, t := range ts {
+			t.seq = base + uint64(i) + 1
+		}
+		tr.Instant(obs.ControlLane, obs.KindSubmit, "submit",
+			ts[0].Arrival, base+1, uint64(len(ts)), 0)
+	}
 	var rejected []*Ticket
 	if s.closed {
 		rejected = s.rejectAll(ts, ErrClosed)
@@ -847,6 +877,10 @@ func (s *Scheduler) putTickets(ts []*Ticket) (rejected []*Ticket) {
 		}
 		if s.placer != nil {
 			t.prefBE = s.prefBackendLocked(t)
+			if tr := s.tracer; tr.Enabled() && t.prefBE >= 0 {
+				tr.Instant(obs.ControlLane, obs.KindPlace, t.Image,
+					t.Arrival, t.seq, uint64(t.prefBE), 1)
+			}
 		}
 		for !s.qclosed && s.queuedN >= s.qcap {
 			// A burst larger than the queue's free space must wake the
@@ -1090,6 +1124,17 @@ func (s *Scheduler) exec(wk *worker, t *Ticket) {
 	if s.adm != nil {
 		s.noteDone(t)
 	}
+	if tr := s.tracer; tr.Enabled() {
+		// One span per serviced ticket: the worker lane carries the
+		// service window, arg0 carries the arrival so the exporter can
+		// render queueing delay and the submission→service flow arrow.
+		name := t.Image
+		if name == "" {
+			name = "task"
+		}
+		tr.Span(wk.id, obs.KindTicket, name,
+			t.Start, t.Done, t.seq, t.Arrival, uint64(t.DepthAtSubmit))
+	}
 	if s.onComplete != nil {
 		s.onComplete(t)
 	}
@@ -1284,6 +1329,10 @@ func (s *Scheduler) placeVirtual(t *Ticket) {
 	t.DepthAtSubmit = busy
 	if d := int64(busy); d > s.peakDepth.Load() {
 		s.peakDepth.Store(d)
+	}
+	if tr := s.tracer; tr.Enabled() && s.placer != nil {
+		tr.Instant(obs.ControlLane, obs.KindPlace, t.Image,
+			t.Arrival, t.seq, uint64(best.beIdx), uint64(busy))
 	}
 	s.execVirtual(best, t)
 	for _, c := range s.cleaners {
@@ -1879,6 +1928,10 @@ func (s *Scheduler) SetVirtualWorkers(n int, at uint64) int {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if tr := s.tracer; tr.Enabled() && n != s.nActive {
+		tr.Instant(obs.ControlLane, obs.KindAutoscale, "fleet-resize",
+			at, 0, uint64(s.nActive), uint64(n))
+	}
 	for s.nActive > n {
 		wk := s.workers[s.nActive-1]
 		if s.vtrees != nil {

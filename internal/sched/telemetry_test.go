@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/wasp"
+)
+
+// pairTask advances the clock by svc and reports svc as the run's entry
+// count, so every note for the image folds equal svc/entries values
+// into the EWMAs: the two smoothed fields must stay exactly equal for
+// the image's whole lifetime. A torn read — one field new, the other
+// old — is the only way a reader can observe them unequal.
+func pairTask(svc uint64) Task {
+	return func(clk *cycles.Clock) (*wasp.Result, error) {
+		clk.Advance(svc)
+		return &wasp.Result{Entries: svc}, nil
+	}
+}
+
+// TestImageTelemetryTornPairs hammers real-mode completions on two
+// images with wildly different service costs while concurrent readers
+// poll ImageTelemetry; any torn svc/entries pair (or, under -race, any
+// unsynchronized read of the EWMA store) fails the test. This is the
+// regression gate for the accessor's locking contract.
+func TestImageTelemetryTornPairs(t *testing.T) {
+	s := New(wasp.New(), 4, WithPlacer(placement.LeastLoaded{}))
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, img := range []string{"hot", "cold"} {
+					st, ok := s.ImageTelemetry(img)
+					if ok && st.SvcEWMA != st.EntriesEWMA {
+						t.Errorf("torn telemetry pair for %q: svc=%d entries=%d", img, st.SvcEWMA, st.EntriesEWMA)
+					}
+				}
+			}
+		}()
+	}
+
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		reqs := []Request{
+			{Image: "hot", Fn: pairTask(1000)},
+			{Image: "hot", Fn: pairTask(9000)},
+			{Image: "cold", Fn: pairTask(9000)},
+			{Image: "cold", Fn: pairTask(1000)},
+		}
+		for _, tk := range s.SubmitBatch(reqs) {
+			if _, err := tk.Wait(); err != nil {
+				t.Fatalf("ticket: %v", err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := s.TrackedImages(); got != 2 {
+		t.Fatalf("TrackedImages = %d, want 2", got)
+	}
+	if _, ok := s.ImageTelemetry("hot"); !ok {
+		t.Fatalf("ImageTelemetry(hot) reported absent after %d rounds", rounds)
+	}
+	if _, ok := s.ImageTelemetry("never-ran"); ok {
+		t.Fatalf("ImageTelemetry invented telemetry for an unknown image")
+	}
+}
+
+// TestImageTelemetryNoPlacer: without a placer the EWMA store does not
+// exist; the accessor must report absence rather than panic.
+func TestImageTelemetryNoPlacer(t *testing.T) {
+	s := New(wasp.New(), 1)
+	defer s.Close()
+	if _, ok := s.ImageTelemetry("x"); ok {
+		t.Fatalf("ImageTelemetry reported telemetry with no placer attached")
+	}
+	if got := s.TrackedImages(); got != 0 {
+		t.Fatalf("TrackedImages = %d with no placer", got)
+	}
+}
+
+// TestSchedRegisterMetrics wires a scheduler into a registry and checks
+// the collector surfaces the lifetime counters.
+func TestSchedRegisterMetrics(t *testing.T) {
+	s := NewVirtual(wasp.New(), 2, WithPlacer(placement.LeastLoaded{}))
+	defer s.Close()
+	reqs := make([]Request, 8)
+	for i := range reqs {
+		reqs[i] = Request{Arrival: uint64(i) * 100, Image: "api", Fn: pairTask(5000)}
+	}
+	for _, tk := range s.SubmitBatchAt(reqs) {
+		if _, err := tk.Wait(); err != nil {
+			t.Fatalf("ticket: %v", err)
+		}
+	}
+
+	r := obs.NewRegistry()
+	s.RegisterMetrics(r)
+	snap := r.Snapshot()
+	want := map[string]float64{
+		"sched_submitted": 8,
+		"sched_completed": 8,
+		"sched_rejected":  0,
+	}
+	seen := map[string]bool{}
+	for _, m := range snap {
+		if v, ok := want[m.Name]; ok {
+			seen[m.Name] = true
+			if m.Value != v {
+				t.Errorf("%s = %g, want %g", m.Name, m.Value, v)
+			}
+		}
+		if strings.HasPrefix(m.Name, "sched_backend_completed") && m.Value != 8 {
+			t.Errorf("%s = %g, want 8", m.Name, m.Value)
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("metric %s missing from snapshot", name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/cycles"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/wasp"
 )
@@ -27,6 +28,12 @@ type ClusterConfig struct {
 	ColdStart      uint64 // boot penalty for growth beyond the prewarmed standby (default: 25 ms)
 	Linear         bool   // run the linear reference dispatch core (speedup baselines)
 	Trace          []sched.Request
+	// Tracer, when non-nil, records the run's full flight: per-ticket
+	// service spans on worker lanes, epoch boundaries, every autoscale
+	// decision, and the pool/cleaner events underneath. Construct it
+	// with obs.Deterministic(true) to keep the recorded stream
+	// bit-identical across runs of the same config.
+	Tracer *obs.Tracer
 }
 
 // ClusterReport is one run's outcome: the SLO side and the cost side of
@@ -90,6 +97,11 @@ func RunCluster(w *wasp.Wasp, pol sched.AutoPolicy, cfg ClusterConfig) (*Cluster
 	}
 	if cfg.Linear {
 		opts = append(opts, sched.WithLinearDispatch(true))
+	}
+	tr := cfg.Tracer
+	if tr != nil {
+		opts = append(opts, sched.WithTracer(tr))
+		w.SetTracer(tr)
 	}
 	s := sched.NewVirtual(w, cfg.InitialWorkers, opts...)
 	defer s.Close()
@@ -159,6 +171,12 @@ func RunCluster(w *wasp.Wasp, pol sched.AutoPolicy, cfg ClusterConfig) (*Cluster
 		dec := pol.Scale(sig)
 		if dec.Workers < 1 {
 			dec.Workers = 1
+		}
+		if tr.Enabled() {
+			tr.Span(obs.ControlLane, obs.KindEpoch, "epoch", epoch*cfg.Epoch, end,
+				epoch+1, uint64(len(chunk)), uint64(width))
+			tr.Instant(obs.ControlLane, obs.KindAutoscale, "autoscale-decision", end,
+				uint64(dec.Prewarm), uint64(width), uint64(dec.Workers))
 		}
 		if dec.Workers != width {
 			rep.ScaleEvents++

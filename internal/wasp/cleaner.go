@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cycles"
+	"repro/internal/obs"
 )
 
 // Cleaner is the Wasp+CA background cleaner (§5.2, Fig 8). Under
@@ -56,6 +57,10 @@ type Cleaner struct {
 	cleaned  atomic.Uint64
 	inline   atomic.Uint64
 	dropped  atomic.Uint64
+
+	// tr records enqueue/scrub events on the async-clean path. Set by
+	// Wasp before serving (never mid-drain); nil-safe when unset.
+	tr *obs.Tracer
 }
 
 type dirtyShell struct {
@@ -83,6 +88,13 @@ func (c *Cleaner) enqueue(memBytes int, s *shell) {
 	c.queue = append(c.queue, dirtyShell{memBytes, s})
 	c.queued[memBytes]++
 	c.enqueued.Add(1)
+	if tr := c.tr; tr.Enabled() {
+		var at uint64
+		if s.ctx != nil && s.ctx.Clock != nil {
+			at = s.ctx.Clock.Now() // release time on the shell's own clock
+		}
+		tr.Instant(obs.ControlLane, obs.KindClean, "clean-enqueue", at, 0, uint64(memBytes), uint64(len(c.queue)))
+	}
 	spawn := !c.driven && !c.running
 	if spawn {
 		c.running = true
@@ -113,7 +125,7 @@ func (c *Cleaner) drainLoop() {
 		d := c.pop(0)
 		c.inflight[d.memBytes]++
 		c.mu.Unlock()
-		c.scrub(d, false)
+		c.scrub(d, false, 0)
 		c.mu.Lock()
 		c.inflight[d.memBytes]--
 		c.cond.Broadcast()
@@ -130,11 +142,20 @@ func (c *Cleaner) pop(i int) dirtyShell {
 
 // scrub zeroes a dirty shell off any request path. With toCaller the
 // clean shell is handed back directly (reclaim); otherwise it is parked
-// in the warm pool, or dropped if the size class is at capacity.
-func (c *Cleaner) scrub(d dirtyShell, toCaller bool) *shell {
+// in the warm pool, or dropped if the size class is at capacity. at is
+// the virtual cleaner core's completion time (0 on host lanes, whose
+// scrubs occupy no virtual timeline).
+func (c *Cleaner) scrub(d dirtyShell, toCaller bool, at uint64) *shell {
 	d.s.ctx.CleanSilent()
 	d.s.dirty = false
 	c.cleaned.Add(1)
+	if tr := c.tr; tr.Enabled() {
+		name := "clean-scrub"
+		if toCaller {
+			name = "clean-reclaim"
+		}
+		tr.Instant(obs.ControlLane, obs.KindClean, name, at, 0, uint64(d.memBytes), 0)
+	}
 	if toCaller {
 		return d.s
 	}
@@ -157,7 +178,7 @@ func (c *Cleaner) DrainOne() bool {
 	d := c.pop(0)
 	c.inflight[d.memBytes]++
 	c.mu.Unlock()
-	c.scrub(d, false)
+	c.scrub(d, false, 0)
 	c.mu.Lock()
 	c.inflight[d.memBytes]--
 	c.cond.Broadcast()
@@ -195,8 +216,9 @@ func (c *Cleaner) DrainAt(at uint64) int {
 		c.vclk.Advance(cost)
 		c.vbusy += cost
 		c.vdrained++
+		done := c.vclk.Now()
 		c.mu.Unlock()
-		c.scrub(d, false)
+		c.scrub(d, false, done)
 		c.mu.Lock()
 		c.inflight[d.memBytes]--
 		c.cond.Broadcast()
@@ -221,7 +243,7 @@ func (c *Cleaner) reclaim(memBytes int) *shell {
 				d := c.pop(i)
 				c.mu.Unlock()
 				c.inline.Add(1)
-				return c.scrub(d, true)
+				return c.scrub(d, true, 0)
 			}
 		}
 		if c.inflight[memBytes] == 0 {

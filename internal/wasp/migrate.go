@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/vmm"
 )
 
@@ -346,6 +347,13 @@ func (w *Wasp) MigrateSnapshot(name, fromPlatform, toPlatform string) (shipped i
 	}
 	if err := w.importSnapshot(dst, name, blob); err != nil {
 		return 0, false, err
+	}
+	if tr := w.tracer; tr.Enabled() {
+		var delta uint64
+		if deltaOnly {
+			delta = 1
+		}
+		tr.Instant(obs.ControlLane, obs.KindMigrate, name, 0, 0, uint64(len(blob)), delta)
 	}
 	return len(blob), deltaOnly, nil
 }

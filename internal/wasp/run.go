@@ -8,6 +8,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/hypercall"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/vmm"
 )
 
@@ -127,10 +128,32 @@ func (w *Wasp) RunOn(platform string, img *guest.Image, cfg RunConfig, clk *cycl
 			clk.Advance(cycles.PoolAcquire)
 			ctx.Clock = clk
 			ctx.CPU.Clock = clk
+			if tr := w.tracer; tr.Enabled() {
+				tr.Instant(obs.ControlLane, obs.KindShell, "shell-cow",
+					clk.Now(), 0, uint64(memBytes), 0)
+			}
 		}
 	}
 	if ctx == nil {
 		ctx = w.acquire(be, memBytes, clk)
+	}
+	if tr := w.tracer; tr.Enabled() {
+		// Tier transitions (trace compiles, deopts) batch into the CPU's
+		// bounded log during the run — the dirty-span pattern — and drain
+		// into the tracer at run end, so the guest hot loop never pays an
+		// emit. TierTrace is reset before release: contexts are pooled.
+		ctx.CPU.TierTrace = true
+		defer func() {
+			for _, te := range ctx.CPU.TierLog {
+				name := "jit-compile"
+				if te.Deopt {
+					name = "jit-deopt"
+				}
+				tr.Instant(obs.ControlLane, obs.KindTier, name, te.Cycle, 0, te.PC, 0)
+			}
+			ctx.CPU.TierLog = ctx.CPU.TierLog[:0]
+			ctx.CPU.TierTrace = false
+		}()
 	}
 	ctx.CPU.Legacy = w.legacyInterp
 	ctx.CPU.NoJIT = w.noJIT
@@ -188,6 +211,10 @@ func (w *Wasp) RunOn(platform string, img *guest.Image, cfg RunConfig, clk *cycl
 			clk.Advance(uint64(len(pages)) * cycles.COWResetPerPage)
 			ctx.ClearDirty()
 			res.COWPages = len(pages)
+			if tr := w.tracer; tr.Enabled() {
+				tr.Instant(obs.ControlLane, obs.KindSnapshot, "snap-cow-reset",
+					clk.Now(), 0, uint64(len(pages)), 0)
+			}
 		} else {
 			// Fast path (Fig 7): restore the snapshot — one memcpy of
 			// the captured footprint — and resume at the snapshot
@@ -202,6 +229,10 @@ func (w *Wasp) RunOn(platform string, img *guest.Image, cfg RunConfig, clk *cycl
 			}
 			clk.Advance(cycles.MemcpyCost(snap.captured))
 			ctx.ClearDirty()
+			if tr := w.tracer; tr.Enabled() {
+				tr.Instant(obs.ControlLane, obs.KindSnapshot, "snap-restore",
+					clk.Now(), 0, uint64(snap.captured), 0)
+			}
 		}
 		ctx.CPU.Restore(snap.state)
 		clk.Advance(cycles.GuestLoadSetup)
@@ -310,6 +341,13 @@ func (w *Wasp) RunOn(platform string, img *guest.Image, cfg RunConfig, clk *cycl
 	w.jitCompiled.Add(res.JIT.BlocksCompiled)
 	w.jitHits.Add(res.JIT.BlockHits)
 	w.jitDeopts.Add(res.JIT.BlockDeopts)
+	if tr := w.tracer; tr.Enabled() {
+		// One summary span per guest run: the interp/JIT tier activity
+		// (arg0 = traces compiled, arg1 = deopts) over the run's whole
+		// virtual window.
+		tr.Span(obs.ControlLane, obs.KindGuest, img.Name,
+			start, clk.Now(), 0, res.JIT.BlocksCompiled, res.JIT.BlockDeopts)
+	}
 	if w.pairProf != nil && ctx.CPU.PairProf != nil {
 		w.pairMu.Lock()
 		for k, n := range ctx.CPU.PairProf {
@@ -456,4 +494,8 @@ func (w *Wasp) capture(be *backend, ctx *vmm.Context, img *guest.Image, native a
 	clk.Advance(cycles.MemcpyCost(captured))
 	ctx.ClearDirty()
 	be.snapshots.put(img.Name, snap)
+	if tr := w.tracer; tr.Enabled() {
+		tr.Instant(obs.ControlLane, obs.KindSnapshot, "snap-capture",
+			clk.Now(), 0, uint64(captured), 0)
+	}
 }

@@ -1,0 +1,154 @@
+package wasp
+
+import (
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/guest"
+	"repro/internal/obs"
+	"repro/internal/vmm"
+)
+
+func traceImg(name string) *guest.Image {
+	return guest.MustFromAsm(name, guest.WrapLongMode(`
+	out 0x08, rdi        ; snapshot()
+	movi rbx, 0x6000
+	load rax, [rbx]
+	inc rax
+	store [rbx], rax
+	movi rdi, 0
+	out 0x00, rdi
+	hlt
+`))
+}
+
+// kindSet flattens the tracer's coverage report.
+func kindSet(tr *obs.Tracer) map[obs.Kind]bool {
+	out := map[obs.Kind]bool{}
+	for _, k := range tr.Kinds() {
+		out[k] = true
+	}
+	return out
+}
+
+// TestRunLifecycleTrace drives snapshot runs through a traced runtime
+// and asserts the recorded flight covers the guest-run half of the
+// lifecycle the cluster trace cannot reach (its tickets are Fn tasks):
+// shell provisioning, snapshot capture/restore, the guest-run summary
+// span, and the release path.
+func TestRunLifecycleTrace(t *testing.T) {
+	tr := obs.NewTracer(obs.Deterministic(true))
+	tr.SetEnabled(true)
+	w := New(WithTracer(tr), WithAsyncClean(true))
+	img := traceImg("trace-lifecycle")
+	cfg := RunConfig{Snapshot: true}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Run(img, cfg, cycles.NewClock()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Cleaner().Drain()
+
+	got := kindSet(tr)
+	for _, want := range []obs.Kind{
+		obs.KindShell, obs.KindSnapshot, obs.KindGuest, obs.KindRelease, obs.KindClean,
+	} {
+		if !got[want] {
+			t.Errorf("lifecycle trace missing %v events (have %v)", want, tr.Kinds())
+		}
+	}
+
+	// The guest summary span must carry the run's virtual window and the
+	// snapshot events must include both a capture and a restore.
+	var guestSpans int
+	names := map[string]bool{}
+	for _, le := range tr.Events() {
+		for _, e := range le.Events {
+			names[tr.NameOf(e.Name)] = true
+			if e.Kind == obs.KindGuest {
+				guestSpans++
+				if e.VEnd <= e.VStart {
+					t.Errorf("guest span has empty virtual window [%d, %d]", e.VStart, e.VEnd)
+				}
+			}
+		}
+	}
+	if guestSpans != 3 {
+		t.Errorf("guest summary spans = %d, want 3 (one per run)", guestSpans)
+	}
+	for _, want := range []string{"snap-capture", "snap-restore", "shell-cold", "clean-enqueue"} {
+		if !names[want] {
+			t.Errorf("lifecycle trace missing %q event (names: %v)", want, keys(names))
+		}
+	}
+}
+
+// TestTierTraceBatches asserts JIT tier transitions are recorded via
+// the batched per-run log and drained at run end: a cold run compiles
+// at least one trace, so KindTier events must appear, and the pooled
+// context must leave RunOn with tier tracing reset.
+func TestTierTraceBatches(t *testing.T) {
+	tr := obs.NewTracer(obs.Deterministic(true))
+	tr.SetEnabled(true)
+	w := New(WithTracer(tr))
+	if _, err := w.Run(traceImg("trace-tier"), RunConfig{Snapshot: true}, cycles.NewClock()); err != nil {
+		t.Fatal(err)
+	}
+	var tiers int
+	for _, le := range tr.Events() {
+		for _, e := range le.Events {
+			if e.Kind == obs.KindTier {
+				tiers++
+				if tr.NameOf(e.Name) != "jit-compile" && tr.NameOf(e.Name) != "jit-deopt" {
+					t.Errorf("tier event with unexpected name %q", tr.NameOf(e.Name))
+				}
+			}
+		}
+	}
+	if tiers == 0 {
+		t.Error("cold run recorded no tier-transition events")
+	}
+	// The pooled context must not keep recording into a stale log.
+	be := w.backends[0]
+	if s := be.pools.take(64 << 10); s != nil {
+		if s.ctx.CPU.TierTrace || len(s.ctx.CPU.TierLog) != 0 {
+			t.Errorf("pooled context leaked tier tracing: trace=%v log=%d",
+				s.ctx.CPU.TierTrace, len(s.ctx.CPU.TierLog))
+		}
+	}
+}
+
+// TestMigrateTrace: a snapshot shipped between backends must record a
+// migrate event carrying the blob size.
+func TestMigrateTrace(t *testing.T) {
+	tr := obs.NewTracer(obs.Deterministic(true))
+	tr.SetEnabled(true)
+	w := New(WithTracer(tr), WithPlatforms(vmm.KVM{}, vmm.HyperV{}))
+	img := traceImg("trace-migrate")
+	if _, err := w.RunOn("kvm", img, RunConfig{Snapshot: true}, cycles.NewClock()); err != nil {
+		t.Fatal(err)
+	}
+	shipped, _, err := w.MigrateSnapshot(img.Name, "kvm", "hyper-v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, le := range tr.Events() {
+		for _, e := range le.Events {
+			if e.Kind == obs.KindMigrate && e.Arg0 == uint64(shipped) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no migrate event carrying shipped size %d", shipped)
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package wasp
+
+import (
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/guest"
+	"repro/internal/obs"
+)
+
+// BenchmarkTracerOverheadRun prices the flight recorder on the guest
+// execution path (the Fig 11 interp shape): warm snapshot-restore runs
+// of a looping guest, untraced vs a disabled tracer vs recording. The
+// interpreter's inner loop is untouched by tracing (tier transitions
+// batch into the CPU-local log), so the disabled tax here is the RunOn
+// instrumentation alone.
+func BenchmarkTracerOverheadRun(b *testing.B) {
+	img := guest.MustFromAsm("bench-trace-loop", guest.WrapLongMode(`
+	out 0x08, rdi        ; snapshot()
+	movi rcx, 200
+	movi rax, 0
+loop:
+	inc rax
+	dec rcx
+	jnz loop
+	movi rdi, 0
+	out 0x00, rdi
+	hlt
+`))
+	cfg := RunConfig{Snapshot: true}
+	for _, mode := range []struct {
+		name string
+		mk   func() *obs.Tracer
+	}{
+		{"none", func() *obs.Tracer { return nil }},
+		{"disabled", func() *obs.Tracer { return obs.NewTracer(obs.Deterministic(true)) }},
+		{"enabled", func() *obs.Tracer {
+			tr := obs.NewTracer(obs.Deterministic(true))
+			tr.SetEnabled(true)
+			return tr
+		}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			w := New(WithTracer(mode.mk()))
+			if _, err := w.Run(img, cfg, cycles.NewClock()); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Run(img, cfg, cycles.NewClock()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/cycles"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/vmm"
 )
 
@@ -84,6 +85,11 @@ type Wasp struct {
 	// WithPairProfile is on (guarded by pairMu; runs may be concurrent).
 	pairMu   sync.Mutex
 	pairProf map[uint16]uint64
+
+	// tracer is the attached flight recorder (internal/obs); nil or
+	// disabled, every instrumentation site costs one atomic load. Set
+	// at construction (WithTracer) or before serving (SetTracer).
+	tracer *obs.Tracer
 }
 
 // backend is one hosted-hypervisor's slice of the runtime: its shell
@@ -247,6 +253,13 @@ func WithPairProfile(on bool) Option {
 // self-contained blobs under it.
 func WithLegacySnapshots(on bool) Option { return func(w *Wasp) { w.legacySnaps = on } }
 
+// WithTracer attaches a flight recorder (internal/obs): the runtime
+// emits shell-provisioning (pool hit / cleaner reclaim / cold create /
+// COW take / prewarm), release, async-clean, snapshot capture/restore,
+// guest-run and migration events into it. A nil or disabled tracer
+// costs one atomic load per instrumented operation.
+func WithTracer(tr *obs.Tracer) Option { return func(w *Wasp) { w.tracer = tr } }
+
 // WithCOW enables copy-on-write snapshot resets (§7.2's anticipated
 // optimization, as in SEUSS): a context stays bound to its image between
 // runs, and each restore copies back only the pages dirtied since the
@@ -275,12 +288,30 @@ func New(opts ...Option) *Wasp {
 		be.pools.policy = w.policy
 		if w.pooling && w.asyncClean {
 			be.cleaner = newCleaner(&be.pools)
+			be.cleaner.tr = w.tracer
 		}
 		w.backends = append(w.backends, be)
 		w.byPlat[p.Name()] = be
 	}
 	return w
 }
+
+// SetTracer attaches a flight recorder to an already-built runtime —
+// the post-construction analogue of WithTracer, for callers handed a
+// *Wasp they did not configure (e.g. the cluster simulator). Call
+// before the runtime starts serving runs; the field is not
+// synchronized against in-flight executions.
+func (w *Wasp) SetTracer(tr *obs.Tracer) {
+	w.tracer = tr
+	for _, be := range w.backends {
+		if be.cleaner != nil {
+			be.cleaner.tr = tr
+		}
+	}
+}
+
+// Tracer reports the attached flight recorder (nil when none).
+func (w *Wasp) Tracer() *obs.Tracer { return w.tracer }
 
 // Platforms lists the runtime's backends; the first is the default.
 func (w *Wasp) Platforms() []vmm.Platform {
@@ -328,10 +359,19 @@ func (w *Wasp) platformNames() []string {
 func (w *Wasp) acquire(be *backend, memBytes int, clk *cycles.Clock) *vmm.Context {
 	if w.pooling {
 		s := be.pools.take(memBytes)
+		hit := s != nil
 		if s == nil && be.cleaner != nil {
 			s = be.cleaner.reclaim(memBytes)
 		}
 		if s != nil {
+			if tr := w.tracer; tr.Enabled() {
+				src := "shell-pool"
+				if !hit {
+					src = "shell-reclaim"
+				}
+				tr.Instant(obs.ControlLane, obs.KindShell, src,
+					clk.Now(), 0, uint64(memBytes), 0)
+			}
 			// Partition invariant: a pooled shell must belong to the
 			// backend that parked it. Release routes by the context's own
 			// platform, so a violation here means cross-platform state
@@ -349,6 +389,10 @@ func (w *Wasp) acquire(be *backend, memBytes int, clk *cycles.Clock) *vmm.Contex
 			return s.ctx
 		}
 	}
+	if tr := w.tracer; tr.Enabled() {
+		tr.Instant(obs.ControlLane, obs.KindShell, "shell-cold",
+			clk.Now(), 0, uint64(memBytes), 0)
+	}
 	return vmm.CreateOn(be.platform, memBytes, clk)
 }
 
@@ -365,6 +409,18 @@ func (w *Wasp) release(ctx *vmm.Context) {
 	be := w.byPlat[ctx.Platform().Name()]
 	if be == nil {
 		return // foreign context (tests building raw vmm state): drop it
+	}
+	if tr := w.tracer; tr.Enabled() {
+		var v uint64
+		if ctx.Clock != nil {
+			v = ctx.Clock.Now()
+		}
+		async := uint64(0)
+		if be.cleaner != nil {
+			async = 1
+		}
+		tr.Instant(obs.ControlLane, obs.KindRelease, "release",
+			v, 0, uint64(len(ctx.Mem)), async)
 	}
 	s := &shell{ctx: ctx, dirty: true}
 	if be.cleaner != nil {
@@ -494,6 +550,10 @@ func (w *Wasp) prewarm(be *backend, memBytes, n int) int {
 			break
 		}
 		added++
+	}
+	if tr := w.tracer; tr.Enabled() && added > 0 {
+		tr.Instant(obs.ControlLane, obs.KindShell, "shell-prewarm",
+			0, 0, uint64(memBytes), uint64(added))
 	}
 	return added
 }
